@@ -1,0 +1,115 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+These are not paper tables; they quantify the effect of the main design
+choices of the proposed RTM so a user can see *why* each piece is there:
+
+* EPD vs UPD exploration (the paper's Table II mechanism) at equal budget;
+* the number of discretisation levels N of the state space;
+* the EWMA smoothing factor γ;
+* the shared Q-table of the many-core formulation vs the single-agent
+  formulation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import mean
+from repro.rtm import MultiCoreRLGovernor, RLGovernor, RLGovernorConfig
+from repro.workload.video import h264_football_application
+
+
+def _run_governor(settings, factory, seed=19):
+    runner = settings.make_runner()
+    application = h264_football_application(num_frames=settings.num_frames, seed=seed)
+    return runner.run_one(application, factory)
+
+
+def test_ablation_state_levels(benchmark, quick_settings):
+    """Energy/miss trade-off as the state discretisation N varies (paper uses 5)."""
+
+    def run():
+        outcomes = {}
+        for levels in (3, 5, 8):
+            config = RLGovernorConfig(workload_levels=levels, slack_levels=levels)
+            result = _run_governor(quick_settings, lambda c=config: MultiCoreRLGovernor(c))
+            outcomes[levels] = result
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for levels, result in outcomes.items():
+        print(
+            f"N={levels}: energy={result.total_energy_j:.1f} J, "
+            f"perf={result.normalized_performance:.2f}, miss={result.deadline_miss_ratio:.1%}, "
+            f"explorations={result.exploration_count}"
+        )
+    # Every configuration still produces a working governor (meets most deadlines).
+    for result in outcomes.values():
+        assert result.deadline_miss_ratio < 0.5
+    # A coarser table does not explore more than the finest one by an order
+    # of magnitude (Q-table size is the learning-overhead knob).
+    assert outcomes[3].exploration_count <= outcomes[8].exploration_count * 3
+
+
+def test_ablation_ewma_gamma(benchmark, quick_settings):
+    """Sensitivity of the RTM to the EWMA smoothing factor γ (paper uses 0.6)."""
+
+    def run():
+        outcomes = {}
+        for gamma in (0.2, 0.6, 1.0):
+            config = RLGovernorConfig(ewma_gamma=gamma)
+            result = _run_governor(quick_settings, lambda c=config: MultiCoreRLGovernor(c))
+            outcomes[gamma] = result
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for gamma, result in outcomes.items():
+        print(
+            f"gamma={gamma}: energy={result.total_energy_j:.1f} J, "
+            f"perf={result.normalized_performance:.2f}, miss={result.deadline_miss_ratio:.1%}"
+        )
+    energies = [r.total_energy_j for r in outcomes.values()]
+    # The governor is robust to the smoothing factor: within ~15% energy.
+    assert max(energies) <= min(energies) * 1.15
+
+
+def test_ablation_shared_vs_single_table(benchmark, quick_settings):
+    """Many-core (shared-table) formulation vs the single-agent formulation."""
+
+    def run():
+        shared = _run_governor(quick_settings, MultiCoreRLGovernor)
+        single = _run_governor(quick_settings, RLGovernor)
+        return shared, single
+
+    shared, single = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"shared Q-table: energy={shared.total_energy_j:.1f} J, "
+        f"explorations={shared.exploration_count}, perf={shared.normalized_performance:.2f}"
+    )
+    print(
+        f"single-agent  : energy={single.total_energy_j:.1f} J, "
+        f"explorations={single.exploration_count}, perf={single.normalized_performance:.2f}"
+    )
+    # Both formulations deliver comparable energy (within 20%)...
+    assert abs(shared.total_energy_j - single.total_energy_j) <= 0.2 * single.total_energy_j
+    # ...and both meet the requirement reasonably (no pathological behaviour).
+    for result in (shared, single):
+        assert result.deadline_miss_ratio < 0.5
+        assert result.normalized_performance < 1.2
+
+
+def test_ablation_epd_vs_upd_energy(benchmark, quick_settings):
+    """EPD-guided exploration should not cost more energy than UPD exploration."""
+
+    def run():
+        epd = _run_governor(quick_settings, MultiCoreRLGovernor)
+        upd_config = RLGovernorConfig(use_exponential_exploration=False)
+        upd = _run_governor(quick_settings, lambda: MultiCoreRLGovernor(upd_config))
+        return epd, upd
+
+    epd, upd = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"EPD: energy={epd.total_energy_j:.1f} J, explorations={epd.exploration_count}")
+    print(f"UPD: energy={upd.total_energy_j:.1f} J, explorations={upd.exploration_count}")
+    assert epd.total_energy_j <= upd.total_energy_j * 1.1

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the library's hot components.
+
+These are conventional pytest-benchmark timing benches (many rounds) for the
+pieces that run once per decision epoch on the real platform, where the
+paper's overhead argument (Section III-D) lives: the Q-learning update, the
+EWMA prediction, the power-model evaluation and a full simulated decision
+epoch.  They document that the per-epoch processing cost of the RTM is tiny
+compared to a frame period.
+"""
+
+from __future__ import annotations
+
+from repro.platform.odroid_xu3 import A15_VF_TABLE, build_a15_cluster
+from repro.platform.power import PowerModel
+from repro.rtm.exploration import ExponentialPolicy
+from repro.rtm.prediction import EWMAPredictor
+from repro.rtm.qlearning import QLearningAgent
+from repro.rtm import MultiCoreRLGovernor
+from repro.sim import SimulationEngine
+from repro.workload.video import h264_football_application
+
+import random
+
+
+def test_bench_qlearning_update(benchmark):
+    agent = QLearningAgent(
+        num_states=25,
+        num_actions=len(A15_VF_TABLE),
+        action_frequencies_hz=A15_VF_TABLE.frequencies_hz,
+    )
+
+    def step():
+        agent.update(state=7, action=5, reward=0.8, next_state=8)
+        agent.select_action(state=8, slack=0.1)
+
+    benchmark(step)
+
+
+def test_bench_ewma_prediction(benchmark):
+    predictor = EWMAPredictor(gamma=0.6)
+    values = [2.5e7 + 1e6 * (i % 7) for i in range(64)]
+
+    def step():
+        for value in values:
+            predictor.observe(value)
+
+    benchmark(step)
+
+
+def test_bench_power_model(benchmark):
+    model = PowerModel()
+    points = list(A15_VF_TABLE)
+
+    def step():
+        total = 0.0
+        for point in points:
+            total += model.cluster_power(point, [1.0, 0.7, 0.5, 0.2]).total_w
+        return total
+
+    benchmark(step)
+
+
+def test_bench_epd_sampling(benchmark):
+    policy = ExponentialPolicy(beta=12.0)
+    rng = random.Random(3)
+    frequencies = A15_VF_TABLE.frequencies_hz
+
+    def step():
+        return policy.sample(len(frequencies), frequencies, slack=0.2, rng=rng)
+
+    benchmark(step)
+
+
+def test_bench_full_epoch(benchmark):
+    """One complete simulated decision epoch (decide + execute + account)."""
+    cluster = build_a15_cluster()
+    engine = SimulationEngine(cluster)
+    application = h264_football_application(num_frames=64)
+    governor = MultiCoreRLGovernor()
+
+    def run():
+        return engine.run(application, governor)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

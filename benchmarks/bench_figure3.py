@@ -1,0 +1,46 @@
+"""Benchmark regenerating the paper's Fig. 3 (workload misprediction & slack).
+
+Prints the reproduced summary statistics next to the paper's and checks the
+shape of the figure:
+
+* EWMA prediction with γ = 0.6 keeps the steady-state misprediction at the
+  few-percent level;
+* the misprediction over the first 100 frames (initial transient, scene-cut
+  heavy opening, exploration phase) exceeds the steady-state misprediction;
+* the average slack ratio settles (small spread) once the exploration phase
+  has ended.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import population_std
+from repro.experiments import format_figure3, run_figure3
+
+
+def test_figure3_misprediction_and_slack(benchmark, experiment_settings):
+    result = benchmark.pedantic(
+        run_figure3, args=(experiment_settings,), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure3(result))
+
+    # The regenerated series cover the run.
+    assert result.num_frames >= 250
+    assert len(result.predicted_cycles) == len(result.actual_cycles)
+
+    # Early (exploration / scene-cut heavy) misprediction exceeds steady state.
+    assert result.early_misprediction_percent > result.late_misprediction_percent
+
+    # Both are at the few-percent level the paper reports (not tens of percent).
+    assert result.early_misprediction_percent < 15.0
+    assert result.late_misprediction_percent < 8.0
+
+    # The EWMA smoothing factor is the paper's experimentally determined 0.6.
+    assert abs(result.ewma_gamma - 0.6) < 1e-9
+
+    # The average slack settles after the exploration phase: its spread over
+    # the second half of the run is small compared to the first half.
+    slack = result.average_slack
+    first_half = slack[: len(slack) // 2]
+    second_half = slack[len(slack) // 2:]
+    assert population_std(second_half) <= population_std(first_half) + 0.05

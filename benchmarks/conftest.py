@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+experiment drivers in :mod:`repro.experiments`.  The drivers are run at a
+reduced-but-representative scale by default so the whole harness completes
+in a couple of minutes; set the environment variable ``REPRO_FULL_SCALE=1``
+to run at paper scale (~3000-frame sequences, 5 seeds).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+def _full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def experiment_settings() -> ExperimentSettings:
+    """Experiment scale used by the benchmark harness."""
+    if _full_scale():
+        return ExperimentSettings(num_frames=3000, num_seeds=5)
+    return ExperimentSettings(num_frames=1200, num_seeds=5)
+
+
+@pytest.fixture(scope="session")
+def quick_settings() -> ExperimentSettings:
+    """Smaller scale for the per-component ablation benches."""
+    return ExperimentSettings(num_frames=600, num_seeds=2)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare every governor in the library across several benchmark workloads.
+
+This example sweeps the full governor zoo (the proposed RTM, the stock Linux
+policies, the learning baselines and the Oracle) over a video decode, an FFT
+and PARSEC/SPLASH-2-like benchmarks, and prints a normalised-energy /
+normalised-performance matrix — a broader version of the paper's Table I.
+
+Run with:  python examples/governor_comparison.py
+"""
+
+from repro import (
+    build_a15_cluster,
+    fft_application,
+    h264_football_application,
+    parsec_application,
+    splash2_application,
+)
+from repro.analysis import format_table
+from repro.governors import (
+    ConservativeGovernor,
+    MultiCoreDVFSGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    ShenRLGovernor,
+)
+from repro.rtm import MultiCoreRLGovernor
+from repro.sim import ExperimentRunner
+
+GOVERNORS = {
+    "performance": PerformanceGovernor,
+    "powersave": PowersaveGovernor,
+    "ondemand": OndemandGovernor,
+    "conservative": ConservativeGovernor,
+    "multicore-dvfs [20]": MultiCoreDVFSGovernor,
+    "shen-rl (UPD) [21]": ShenRLGovernor,
+    "proposed RTM": MultiCoreRLGovernor,
+}
+
+WORKLOADS = {
+    "h264-football (25 fps)": lambda: h264_football_application(num_frames=500),
+    "fft (32 fps)": lambda: fft_application(num_frames=500),
+    "parsec-bodytrack": lambda: parsec_application("bodytrack", num_frames=500),
+    "splash2-barnes": lambda: splash2_application("barnes", num_frames=500),
+}
+
+
+def main() -> None:
+    runner = ExperimentRunner(cluster=build_a15_cluster())
+    for workload_name, build in WORKLOADS.items():
+        application = build()
+        results = runner.run_with_oracle(application, GOVERNORS)
+        oracle = results["oracle"]
+        rows = []
+        for governor_name in GOVERNORS:
+            result = results[governor_name]
+            rows.append(
+                (
+                    governor_name,
+                    f"{result.normalized_energy(oracle):.2f}",
+                    f"{result.normalized_performance:.2f}",
+                    f"{result.deadline_miss_ratio:.1%}",
+                )
+            )
+        print(
+            format_table(
+                headers=["Governor", "Norm. energy", "Norm. perf", "Misses"],
+                rows=rows,
+                title=f"Workload: {workload_name} "
+                f"(CV = {application.workload_variability():.2f})",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

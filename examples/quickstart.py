@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: run the proposed Q-learning governor on an H.264 decode.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. build the simulated ODROID-XU3 A15 cluster,
+2. generate a frame-based H.264 decode workload (the paper's football
+   sequence) with a 25 fps requirement,
+3. run it under the proposed run-time manager and under the Linux ondemand
+   governor,
+4. compare energy, performance and deadline behaviour.
+
+The learning governor pays an exploration cost over the first ~100 frames,
+so its advantage shows on sequences long enough to amortise it (the paper's
+football clip is ~3000 frames).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import build_a15_cluster, h264_football_application
+from repro.governors import OndemandGovernor, OracleGovernor
+from repro.rtm import MultiCoreRLGovernor
+from repro.sim import ExperimentRunner
+from repro.analysis import format_table
+
+
+def main() -> None:
+    # The application layer: a periodic H.264 decode with a 25 fps deadline.
+    application = h264_football_application(num_frames=1200)
+    print(
+        f"Workload: {application.name}, {application.num_frames} frames, "
+        f"Tref = {application.reference_time_s * 1e3:.1f} ms, "
+        f"mean demand = {application.mean_frame_cycles / 1e6:.1f} Mcycles/frame"
+    )
+
+    # The hardware layer: the XU3's A15 cluster (4 cores, 19 operating points).
+    runner = ExperimentRunner(cluster=build_a15_cluster())
+
+    # The run-time layer: the proposed RL governor vs the stock ondemand
+    # policy, both normalised against the offline Oracle.
+    results = runner.run_with_oracle(
+        application,
+        {
+            "ondemand": OndemandGovernor,
+            "proposed": MultiCoreRLGovernor,
+        },
+    )
+    oracle = results["oracle"]
+
+    rows = []
+    for name in ("ondemand", "proposed", "oracle"):
+        result = results[name]
+        rows.append(
+            (
+                name,
+                f"{result.total_energy_j:.1f} J",
+                f"{result.normalized_energy(oracle):.2f}",
+                f"{result.normalized_performance:.2f}",
+                f"{result.deadline_miss_ratio:.1%}",
+                f"{result.average_power_w:.2f} W",
+            )
+        )
+    print()
+    print(
+        format_table(
+            headers=["Governor", "Energy", "Norm. energy", "Norm. perf", "Deadline misses", "Avg power"],
+            rows=rows,
+            title="Proposed RTM vs Linux ondemand (H.264 football decode, 25 fps)",
+        )
+    )
+
+    proposed = results["proposed"]
+    ondemand = results["ondemand"]
+    saving = 100.0 * (ondemand.total_energy_j - proposed.total_energy_j) / ondemand.total_energy_j
+    print(f"\nEnergy saving of the proposed RTM over ondemand: {saving:.1f}%")
+    print(f"Exploration phase: {proposed.exploration_count} decision epochs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the Table I, Table II, Table III and Fig. 3 experiment drivers at
+paper-like scale and prints each reproduction next to the values the paper
+reports.  This is the long-running "full reproduction" entry point; the
+same drivers run at reduced scale inside the pytest-benchmark harness.
+
+Run with:  python examples/reproduce_paper.py [--quick]
+"""
+
+import argparse
+
+from repro.experiments import (
+    ExperimentSettings,
+    format_figure3,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_figure3,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run at reduced scale (600 frames, 2 seeds) for a fast smoke run",
+    )
+    arguments = parser.parse_args()
+
+    if arguments.quick:
+        settings = ExperimentSettings(num_frames=600, num_seeds=2)
+    else:
+        # Paper scale: the football sequence is ~3000 frames and Table II/III
+        # report averages over repeated runs.
+        settings = ExperimentSettings(num_frames=3000, num_seeds=5)
+
+    print(format_table1(run_table1(settings)))
+    print()
+    print(format_table2(run_table2(settings)))
+    print()
+    print(format_table3(run_table3(settings)))
+    print()
+    print(format_figure3(run_figure3(settings)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Soft-real-time video decoding: deadlines, slack and frame drops.
+
+The paper's motivating scenario is an H.264/MPEG-4 decoder that must sustain
+its frame rate: frames missing their deadline are dropped and degrade the
+viewing experience, while finishing frames early wastes energy.  This example
+looks inside a single run of the proposed RTM on the football sequence:
+
+* how the selected operating point evolves as the Q-table is learnt,
+* how the average slack ratio settles around its target after the
+  exploration phase,
+* where deadline misses (dropped frames) occur,
+* how the learnt Q-table's greedy policy looks per state.
+
+Run with:  python examples/video_decode_deadlines.py
+"""
+
+from repro import build_a15_cluster, h264_football_application
+from repro.analysis import format_table, windowed_mean
+from repro.rtm import MultiCoreRLGovernor
+from repro.sim import SimulationEngine, frequency_histogram
+
+
+def sparkline(values, buckets=60, symbols=" .:-=+*#%@"):
+    """Render a list of values as a coarse text sparkline."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // buckets)
+    sampled = [values[i] for i in range(0, len(values), step)]
+    return "".join(symbols[int((v - lo) / span * (len(symbols) - 1))] for v in sampled)
+
+
+def main() -> None:
+    application = h264_football_application(num_frames=1000)
+    governor = MultiCoreRLGovernor()
+    engine = SimulationEngine(build_a15_cluster())
+    result = engine.run(application, governor)
+
+    print(f"Application: {application.name}, Tref = {application.reference_time_s * 1e3:.0f} ms")
+    print(f"Exploration phase: {result.exploration_count} frames; "
+          f"policy converged at epoch {result.converged_epoch}")
+    print(f"Total energy: {result.total_energy_j:.1f} J, "
+          f"average power {result.average_power_w:.2f} W")
+    print(f"Normalised performance: {result.normalized_performance:.2f}, "
+          f"dropped frames: {result.deadline_miss_ratio:.1%}")
+    print()
+
+    frequencies = [record.frequency_mhz for record in result.records]
+    slack = [record.slack_ratio for record in result.records]
+    print("Selected frequency over time (MHz, low→high):")
+    print("  " + sparkline(frequencies))
+    print("Per-frame slack ratio over time (negative = dropped frame):")
+    print("  " + sparkline(windowed_mean(slack, 10)))
+    print()
+
+    histogram = frequency_histogram(result.records)
+    rows = [
+        (f"{mhz:.0f} MHz", count, f"{100.0 * count / len(result.records):.1f}%")
+        for mhz, count in histogram.items()
+    ]
+    print(format_table(["Operating point", "Frames", "Share"], rows,
+                       title="Frequency residency"))
+    print()
+
+    # Inspect the learnt policy: greedy operating point per (workload, slack) state.
+    agent = governor.agent
+    table = agent.qtable
+    state_space = governor.state_space
+    policy_rows = []
+    for state in range(table.num_states):
+        workload_level, slack_level = state_space.decompose(state)
+        if table.visit_count(state, table.best_action(state)) == 0:
+            continue
+        point = engine.cluster.vf_table[table.best_action(state)]
+        policy_rows.append(
+            (f"workload L{workload_level}", f"slack L{slack_level}", f"{point.frequency_mhz:.0f} MHz")
+        )
+    print(format_table(["Workload level", "Slack level", "Greedy V-F"], policy_rows,
+                       title="Learnt greedy policy (visited states)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+environments without the ``wheel`` package (where PEP 660 editable installs
+are unavailable) can still do a legacy editable install via
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

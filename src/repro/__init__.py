@@ -1,0 +1,114 @@
+"""repro — reproduction of "Machine Learning for Run-Time Energy Optimisation
+in Many-Core Systems" (Biswas et al., DATE 2017).
+
+The package is organised in layers mirroring the paper's cross-layer view:
+
+* :mod:`repro.platform` — the hardware substrate (an ODROID-XU3-class chip
+  model with DVFS, power, thermal and sensor models);
+* :mod:`repro.workload` — the application layer (frame-based periodic
+  applications and stochastic workload models for video decoding, FFT and
+  PARSEC / SPLASH-2-like benchmarks);
+* :mod:`repro.rtm` — the run-time layer: the proposed Q-learning run-time
+  manager and its building blocks;
+* :mod:`repro.governors` — the baseline DVFS policies the paper compares
+  against (ondemand, the multi-core DVFS learning controller, the UPD
+  Q-learning manager, the Oracle, and the remaining stock Linux policies);
+* :mod:`repro.sim` — the closed-loop simulation engine and experiment
+  runner;
+* :mod:`repro.experiments` — one driver per paper table / figure;
+* :mod:`repro.analysis` — statistics and plain-text reporting helpers.
+
+Quickstart
+----------
+>>> from repro import build_a15_cluster, mpeg4_application
+>>> from repro.rtm import MultiCoreRLGovernor
+>>> from repro.sim import SimulationEngine
+>>> engine = SimulationEngine(build_a15_cluster())
+>>> result = engine.run(mpeg4_application(num_frames=120), MultiCoreRLGovernor())
+>>> round(result.normalized_performance, 2) <= 1.1
+True
+"""
+
+from repro.version import __version__, PAPER_TITLE, PAPER_VENUE
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    PlatformError,
+    WorkloadError,
+    GovernorError,
+    SimulationError,
+    StateSpaceError,
+)
+from repro.platform import (
+    OperatingPoint,
+    VFTable,
+    PowerModel,
+    Cluster,
+    Chip,
+    build_odroid_xu3,
+    build_a15_cluster,
+    A15_VF_TABLE,
+)
+from repro.workload import (
+    Frame,
+    Application,
+    PerformanceRequirement,
+    mpeg4_application,
+    h264_application,
+    h264_football_application,
+    fft_application,
+    parsec_application,
+    splash2_application,
+)
+from repro.rtm import RLGovernor, MultiCoreRLGovernor, RLGovernorConfig
+from repro.governors import (
+    OndemandGovernor,
+    OracleGovernor,
+    MultiCoreDVFSGovernor,
+    ShenRLGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.sim import SimulationEngine, SimulationConfig, ExperimentRunner
+
+__all__ = [
+    "__version__",
+    "PAPER_TITLE",
+    "PAPER_VENUE",
+    "ReproError",
+    "ConfigurationError",
+    "PlatformError",
+    "WorkloadError",
+    "GovernorError",
+    "SimulationError",
+    "StateSpaceError",
+    "OperatingPoint",
+    "VFTable",
+    "PowerModel",
+    "Cluster",
+    "Chip",
+    "build_odroid_xu3",
+    "build_a15_cluster",
+    "A15_VF_TABLE",
+    "Frame",
+    "Application",
+    "PerformanceRequirement",
+    "mpeg4_application",
+    "h264_application",
+    "h264_football_application",
+    "fft_application",
+    "parsec_application",
+    "splash2_application",
+    "RLGovernor",
+    "MultiCoreRLGovernor",
+    "RLGovernorConfig",
+    "OndemandGovernor",
+    "OracleGovernor",
+    "MultiCoreDVFSGovernor",
+    "ShenRLGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "SimulationEngine",
+    "SimulationConfig",
+    "ExperimentRunner",
+]

@@ -1,0 +1,22 @@
+"""Analysis helpers: statistics and plain-text reporting."""
+
+from repro.analysis.stats import (
+    mean,
+    population_std,
+    coefficient_of_variation,
+    percentile,
+    windowed_mean,
+    misprediction_percent,
+)
+from repro.analysis.reporting import format_table, format_comparison_rows
+
+__all__ = [
+    "mean",
+    "population_std",
+    "coefficient_of_variation",
+    "percentile",
+    "windowed_mean",
+    "misprediction_percent",
+    "format_table",
+    "format_comparison_rows",
+]

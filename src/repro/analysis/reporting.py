@@ -1,0 +1,51 @@
+"""Plain-text table formatting for experiment output.
+
+The experiment drivers print their results as ASCII tables shaped like the
+paper's tables, so a user can eyeball paper-vs-reproduction side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.sim.comparison import ComparisonRow
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            if column < len(widths):
+                widths[column] = max(widths[column], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_line(list(headers)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def format_comparison_rows(rows: Sequence[ComparisonRow], title: str = "") -> str:
+    """Render Table-I-style comparison rows as an ASCII table."""
+    return format_table(
+        headers=["Methodology", "Normalized energy", "Normalized performance"],
+        rows=[
+            (row.methodology, f"{row.normalized_energy:.2f}", f"{row.normalized_performance:.2f}")
+            for row in rows
+        ],
+        title=title,
+    )

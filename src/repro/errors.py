@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch a single base class.  More specific subclasses are used
+where a caller may plausibly want to distinguish failure modes (e.g. an
+invalid operating-point request vs. a mis-configured governor).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class PlatformError(ReproError):
+    """An error in the hardware-platform model (cores, clusters, DVFS)."""
+
+
+class InvalidOperatingPointError(PlatformError):
+    """A frequency/voltage pair was requested that the platform does not support."""
+
+
+class WorkloadError(ReproError):
+    """An error in workload/application construction or trace handling."""
+
+
+class GovernorError(ReproError):
+    """A governor was driven incorrectly (e.g. epoch ended before it started)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an inconsistent state."""
+
+
+class StateSpaceError(ReproError):
+    """A value could not be mapped into the discretised RL state space."""

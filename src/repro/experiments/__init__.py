@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Each driver builds the workload and governors the paper used, runs them on
+the simulated A15 cluster, and returns structured rows mirroring the paper's
+table; each also provides a ``format_*`` helper that renders the rows as an
+ASCII table for side-by-side comparison with the paper.
+"""
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.table1 import Table1Result, run_table1, format_table1
+from repro.experiments.table2 import Table2Row, run_table2, format_table2
+from repro.experiments.table3 import Table3Result, run_table3, format_table3
+from repro.experiments.figure3 import Figure3Result, run_figure3, format_figure3
+
+__all__ = [
+    "ExperimentSettings",
+    "Table1Result",
+    "run_table1",
+    "format_table1",
+    "Table2Row",
+    "run_table2",
+    "format_table2",
+    "Table3Result",
+    "run_table3",
+    "format_table3",
+    "Figure3Result",
+    "run_figure3",
+    "format_figure3",
+]

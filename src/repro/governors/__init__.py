@@ -1,0 +1,41 @@
+"""Baseline DVFS governors.
+
+These are the comparison points of the paper's evaluation:
+
+* :class:`OndemandGovernor` — Linux's ondemand policy [5], used in Table I;
+* :class:`MultiCoreDVFSGovernor` — the learning-based multi-core DVFS
+  control of Ge & Qiu (DAC'11) [20], used in Tables I and III;
+* :class:`ShenRLGovernor` — the UPD-exploration Q-learning power manager of
+  Shen et al. (TODAES'13) [21], used in Table II;
+* :class:`OracleGovernor` — offline-optimal per-frame V-F selection, the
+  normalisation baseline of Table I;
+* :class:`PerformanceGovernor`, :class:`PowersaveGovernor`,
+  :class:`ConservativeGovernor`, :class:`UserspaceGovernor` — the remaining
+  stock Linux policies, provided for completeness and used in the examples
+  and ablations.
+"""
+
+from repro.governors.base import StaticGovernor
+from repro.governors.ondemand import OndemandGovernor, OndemandParameters
+from repro.governors.conservative import ConservativeGovernor, ConservativeParameters
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.governors.userspace import UserspaceGovernor
+from repro.governors.oracle import OracleGovernor
+from repro.governors.multicore_dvfs import MultiCoreDVFSGovernor, MultiCoreDVFSParameters
+from repro.governors.shen_rl import ShenRLGovernor
+
+__all__ = [
+    "StaticGovernor",
+    "OndemandGovernor",
+    "OndemandParameters",
+    "ConservativeGovernor",
+    "ConservativeParameters",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "UserspaceGovernor",
+    "OracleGovernor",
+    "MultiCoreDVFSGovernor",
+    "MultiCoreDVFSParameters",
+    "ShenRLGovernor",
+]

@@ -1,0 +1,78 @@
+"""The Linux ``conservative`` governor.
+
+Conservative is ondemand's gentler sibling: instead of jumping straight to
+the maximum frequency on high load it steps the frequency up and down
+gradually.  It is not part of the paper's comparison tables but is included
+for completeness (it ships with the kernel the paper used) and as an extra
+point in the governor-comparison example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.governors.base import observed_load
+from repro.rtm.governor import EpochObservation, FrameHint, Governor
+
+
+@dataclass(frozen=True)
+class ConservativeParameters:
+    """Tunables of the conservative policy.
+
+    Attributes
+    ----------
+    up_threshold:
+        Load above which the frequency is stepped up.
+    down_threshold:
+        Load below which the frequency is stepped down.
+    freq_step:
+        Step size as a fraction of the table (kernel default 5% of max
+        frequency; here expressed as a number of table indices per step).
+    """
+
+    up_threshold: float = 0.80
+    down_threshold: float = 0.20
+    freq_step_indices: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.up_threshold <= 1.0:
+            raise ConfigurationError("up_threshold must lie in (0, 1]")
+        if not 0.0 <= self.down_threshold < self.up_threshold:
+            raise ConfigurationError("down_threshold must lie in [0, up_threshold)")
+        if self.freq_step_indices < 1:
+            raise ConfigurationError("freq_step_indices must be >= 1")
+
+
+class ConservativeGovernor(Governor):
+    """Gradual step-up/step-down DVFS policy."""
+
+    name = "conservative"
+
+    def __init__(self, parameters: Optional[ConservativeParameters] = None) -> None:
+        super().__init__()
+        self.parameters = parameters or ConservativeParameters()
+
+    def decide(
+        self,
+        previous: Optional[EpochObservation],
+        hint: Optional[FrameHint] = None,
+    ) -> int:
+        table = self.platform.vf_table
+        if previous is None:
+            return len(table) - 1
+        load = observed_load(previous)
+        index = previous.operating_index
+        if load > self.parameters.up_threshold:
+            index += self.parameters.freq_step_indices
+        elif load < self.parameters.down_threshold:
+            index -= self.parameters.freq_step_indices
+        return table.clamp_index(index)
+
+    def describe(self) -> str:
+        p = self.parameters
+        return (
+            f"conservative: step up above {p.up_threshold:.0%} load, "
+            f"step down below {p.down_threshold:.0%}"
+        )

@@ -1,0 +1,20 @@
+"""The Linux ``performance`` governor: always the fastest operating point."""
+
+from __future__ import annotations
+
+from repro.governors.base import StaticGovernor
+
+
+class PerformanceGovernor(StaticGovernor):
+    """Always selects the highest available frequency."""
+
+    name = "performance"
+
+    def __init__(self) -> None:
+        super().__init__(index=None)
+
+    def _resolve_index(self) -> int:
+        return self.platform.num_actions - 1
+
+    def describe(self) -> str:
+        return "performance: pin the cluster at its fastest operating point"

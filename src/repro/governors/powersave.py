@@ -1,0 +1,20 @@
+"""The Linux ``powersave`` governor: always the slowest operating point."""
+
+from __future__ import annotations
+
+from repro.governors.base import StaticGovernor
+
+
+class PowersaveGovernor(StaticGovernor):
+    """Always selects the lowest available frequency."""
+
+    name = "powersave"
+
+    def __init__(self) -> None:
+        super().__init__(index=None)
+
+    def _resolve_index(self) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return "powersave: pin the cluster at its slowest operating point"

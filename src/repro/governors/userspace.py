@@ -1,0 +1,28 @@
+"""The Linux ``userspace`` governor: hold whatever frequency the user set."""
+
+from __future__ import annotations
+
+from repro.errors import GovernorError
+from repro.governors.base import StaticGovernor
+
+
+class UserspaceGovernor(StaticGovernor):
+    """Holds a caller-selected operating point; the caller may change it between epochs."""
+
+    name = "userspace"
+
+    def __init__(self, index: int = 0) -> None:
+        super().__init__(index=index)
+
+    def set_index(self, index: int) -> None:
+        """Change the held operating-point index (takes effect at the next epoch)."""
+        if index < 0:
+            raise GovernorError("operating-point index must be non-negative")
+        self._requested_index = index
+
+    def set_frequency(self, frequency_hz: float) -> None:
+        """Hold the slowest operating point at least as fast as ``frequency_hz``."""
+        self._requested_index = self.platform.vf_table.nearest_index_for_frequency(frequency_hz)
+
+    def describe(self) -> str:
+        return f"userspace: hold operating-point index {self._requested_index}"

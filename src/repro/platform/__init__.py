@@ -1,0 +1,61 @@
+"""Hardware-platform substrate.
+
+This subpackage models the hardware the paper's run-time manager controls:
+an ODROID-XU3-class big.LITTLE SoC with a cluster-level DVFS domain, a CMOS
+power model, per-core performance-monitoring units, on-board power sensors
+and a first-order thermal model.
+
+The governor (see :mod:`repro.rtm` and :mod:`repro.governors`) interacts
+with the platform only through the interfaces the real board exposes:
+
+* reading cycle counts from the PMU,
+* reading power/energy from the sensors,
+* requesting a V-F operating point for a cluster.
+
+Everything else (how many joules a frame costs at a given operating point)
+is produced by the analytic models in :mod:`repro.platform.power` and
+:mod:`repro.platform.thermal`.
+"""
+
+from repro.platform.vf_table import OperatingPoint, VFTable
+from repro.platform.power import PowerModel, PowerModelParameters, PowerBreakdown
+from repro.platform.pmu import PerformanceMonitoringUnit, PMUSample
+from repro.platform.core import Core, CoreExecutionResult
+from repro.platform.cluster import Cluster
+from repro.platform.chip import Chip
+from repro.platform.dvfs import DVFSActuator, DVFSTransition
+from repro.platform.sensors import PowerSensor, EnergyMeter, SensorReading
+from repro.platform.thermal import ThermalModel, ThermalParameters
+from repro.platform.odroid_xu3 import (
+    build_odroid_xu3,
+    build_a15_cluster,
+    build_a7_cluster,
+    A15_VF_TABLE,
+    A7_VF_TABLE,
+)
+
+__all__ = [
+    "OperatingPoint",
+    "VFTable",
+    "PowerModel",
+    "PowerModelParameters",
+    "PowerBreakdown",
+    "PerformanceMonitoringUnit",
+    "PMUSample",
+    "Core",
+    "CoreExecutionResult",
+    "Cluster",
+    "Chip",
+    "DVFSActuator",
+    "DVFSTransition",
+    "PowerSensor",
+    "EnergyMeter",
+    "SensorReading",
+    "ThermalModel",
+    "ThermalParameters",
+    "build_odroid_xu3",
+    "build_a15_cluster",
+    "build_a7_cluster",
+    "A15_VF_TABLE",
+    "A7_VF_TABLE",
+]

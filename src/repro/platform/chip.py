@@ -1,0 +1,71 @@
+"""Chip model: a package containing one or more DVFS clusters.
+
+The ODROID-XU3's Exynos 5422 is a big.LITTLE part with an A15 cluster and an
+A7 cluster.  The paper uses only the A15 cluster, but the chip abstraction
+keeps the door open for the heterogeneous experiments the platform supports
+and gives a single place to aggregate whole-package energy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import PlatformError
+from repro.platform.cluster import Cluster
+
+
+class Chip:
+    """A package of named clusters."""
+
+    def __init__(self, name: str, clusters: Iterable[Cluster]):
+        cluster_list = list(clusters)
+        if not cluster_list:
+            raise PlatformError("a chip requires at least one cluster")
+        names = [c.name for c in cluster_list]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"cluster names must be unique, got {names}")
+        self.name = name
+        self._clusters: Dict[str, Cluster] = {c.name: c for c in cluster_list}
+
+    @property
+    def clusters(self) -> List[Cluster]:
+        """All clusters on the chip."""
+        return list(self._clusters.values())
+
+    @property
+    def cluster_names(self) -> List[str]:
+        """Names of all clusters on the chip."""
+        return list(self._clusters.keys())
+
+    def cluster(self, name: str) -> Cluster:
+        """Return the cluster called ``name``.
+
+        Raises
+        ------
+        PlatformError
+            If no cluster with that name exists.
+        """
+        try:
+            return self._clusters[name]
+        except KeyError as exc:
+            raise PlatformError(
+                f"chip {self.name!r} has no cluster {name!r}; available: {self.cluster_names}"
+            ) from exc
+
+    @property
+    def num_cores(self) -> int:
+        """Total number of cores across all clusters."""
+        return sum(c.num_cores for c in self._clusters.values())
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy consumed by all clusters so far."""
+        return sum(c.total_energy_j for c in self._clusters.values())
+
+    def reset(self) -> None:
+        """Reset every cluster on the chip."""
+        for cluster in self._clusters.values():
+            cluster.reset()
+
+    def __repr__(self) -> str:
+        return f"Chip(name={self.name!r}, clusters={self.cluster_names})"

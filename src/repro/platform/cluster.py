@@ -1,0 +1,254 @@
+"""Cluster model: several cores sharing one voltage-frequency domain.
+
+On the Exynos 5422 (ODROID-XU3) all four A15 cores share a single clock and
+voltage rail, which is why the paper's many-core formulation controls the
+*cluster* operating point rather than per-core points.  The cluster ties
+together the cores, the DVFS actuator, the power model, the thermal model
+and the power sensor, and exposes the single high-level operation the
+simulator needs: *execute this per-core cycle demand at the current
+operating point and tell me how long it took and how much energy it cost*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import PlatformError
+from repro.platform.core import Core, CoreExecutionResult
+from repro.platform.dvfs import DVFSActuator, DVFSTransition
+from repro.platform.power import PowerBreakdown, PowerModel
+from repro.platform.sensors import EnergyMeter, PowerSensor
+from repro.platform.thermal import ThermalModel
+from repro.platform.vf_table import OperatingPoint, VFTable
+
+
+@dataclass(frozen=True)
+class ClusterExecutionResult:
+    """Outcome of executing one frame's worth of work on a cluster.
+
+    Attributes
+    ----------
+    duration_s:
+        Wall-clock time of the interval (time of the slowest core, plus any
+        DVFS transition stall charged to this interval).
+    energy_j:
+        Total energy consumed over the interval, including idle cores,
+        uncore power and DVFS transition energy.
+    average_power_w:
+        ``energy_j / duration_s`` (0 when the interval is empty).
+    operating_point:
+        The operating point the work ran at.
+    operating_index:
+        Index of that operating point in the cluster's table.
+    core_results:
+        Per-core execution details.
+    measured_power_w:
+        Power as reported by the (quantised, sampled) on-board sensor.
+    temperature_c:
+        Junction temperature at the end of the interval.
+    max_busy_cycles:
+        Largest per-core busy cycle count in the interval (the quantity the
+        paper's RTM treats as the observed workload).
+    total_busy_cycles:
+        Sum of busy cycles over all cores.
+    """
+
+    duration_s: float
+    energy_j: float
+    average_power_w: float
+    operating_point: OperatingPoint
+    operating_index: int
+    core_results: Sequence[CoreExecutionResult]
+    measured_power_w: float
+    temperature_c: float
+    max_busy_cycles: float
+    total_busy_cycles: float
+
+
+class Cluster:
+    """A set of cores sharing a single DVFS domain.
+
+    Parameters
+    ----------
+    idle_at_min_opp:
+        If True (default) the idle portion of an interval is charged at the
+        table's slowest operating point, modelling the cpuidle/WFI behaviour
+        of the real platform where an idle core is clock-gated regardless of
+        the cluster's DVFS setting.  If False, idle time is charged at the
+        active operating point (pessimistic, no idle states).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cores: Sequence[Core],
+        vf_table: VFTable,
+        power_model: Optional[PowerModel] = None,
+        thermal_model: Optional[ThermalModel] = None,
+        power_sensor: Optional[PowerSensor] = None,
+        dvfs: Optional[DVFSActuator] = None,
+        idle_at_min_opp: bool = True,
+    ) -> None:
+        if not cores:
+            raise PlatformError("a cluster requires at least one core")
+        self.name = name
+        self.cores: List[Core] = list(cores)
+        self.vf_table = vf_table
+        self.power_model = power_model or PowerModel()
+        self.thermal_model = thermal_model or ThermalModel(enabled=False)
+        self.power_sensor = power_sensor or PowerSensor()
+        self.dvfs = dvfs or DVFSActuator(table=vf_table)
+        self.idle_at_min_opp = idle_at_min_opp
+        self.energy_meter = EnergyMeter()
+        self._time_s = 0.0
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        """Number of cores in the cluster."""
+        return len(self.cores)
+
+    @property
+    def current_index(self) -> int:
+        """Index of the active operating point."""
+        return self.dvfs.current_index
+
+    @property
+    def current_point(self) -> OperatingPoint:
+        """The active operating point."""
+        return self.dvfs.current_point
+
+    @property
+    def time_s(self) -> float:
+        """Platform time accumulated by this cluster."""
+        return self._time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total true energy consumed by the cluster so far."""
+        return self.energy_meter.energy_j
+
+    # -- control ---------------------------------------------------------------
+    def set_operating_index(self, index: int) -> DVFSTransition:
+        """Request operating point ``index`` (the governor-facing knob)."""
+        return self.dvfs.request(index, timestamp_s=self._time_s)
+
+    def set_frequency(self, frequency_hz: float) -> DVFSTransition:
+        """Request the slowest operating point at least as fast as ``frequency_hz``."""
+        return self.dvfs.request_frequency(frequency_hz, timestamp_s=self._time_s)
+
+    # -- execution ---------------------------------------------------------------
+    def execute_workload(
+        self,
+        cycles_per_core: Sequence[float],
+        minimum_interval_s: float = 0.0,
+        pending_transition: Optional[DVFSTransition] = None,
+    ) -> ClusterExecutionResult:
+        """Execute one frame of work at the current operating point.
+
+        Parameters
+        ----------
+        cycles_per_core:
+            Busy-cycle demand for each core.  Shorter sequences are padded
+            with zeros; longer sequences are an error.
+        minimum_interval_s:
+            If the work finishes before this time, the cluster idles (at the
+            current operating point) until it has elapsed.  This is how a
+            frame that beats its deadline still accounts for a full frame
+            period of idle power when the application is rate-limited.
+        pending_transition:
+            A DVFS transition whose latency/energy should be charged to this
+            interval (i.e. the governor changed the operating point at the
+            start of the frame).
+        """
+        demands = list(cycles_per_core)
+        if len(demands) > self.num_cores:
+            raise PlatformError(
+                f"got {len(demands)} per-core demands for a {self.num_cores}-core cluster"
+            )
+        demands += [0.0] * (self.num_cores - len(demands))
+        point = self.current_point
+        index = self.current_index
+
+        busy_times = [point.time_for_cycles(c) for c in demands]
+        interval_s = max(max(busy_times), minimum_interval_s)
+        transition_latency = pending_transition.latency_s if pending_transition else 0.0
+        transition_energy = pending_transition.energy_j if pending_transition else 0.0
+
+        core_results = [
+            core.execute(cycles, point, interval_s)
+            for core, cycles in zip(self.cores, demands)
+        ]
+        temperature = self.thermal_model.temperature_c
+        idle_point = self.vf_table.min_point if self.idle_at_min_opp else point
+
+        # Per-core energy: busy time at the active operating point, idle time
+        # at the idle point (cpuidle / WFI clock gating).  Uncore power is
+        # charged for the whole interval.
+        busy_power = self.power_model.core_power(point, 1.0, temperature)
+        idle_power = self.power_model.core_power(idle_point, 0.0, temperature)
+        core_energy_j = sum(
+            busy_power.total_w * result.busy_time_s
+            + idle_power.total_w * result.idle_time_s
+            for result in core_results
+        )
+        uncore_energy_j = self.power_model.parameters.uncore_power_w * interval_s
+
+        duration_s = interval_s + transition_latency
+        energy_j = core_energy_j + uncore_energy_j + transition_energy
+        true_average_power = energy_j / duration_s if duration_s > 0 else 0.0
+
+        # Advance the thermal state using the power actually drawn.
+        temperature = self.thermal_model.step(true_average_power, duration_s)
+
+        # The on-board sensor sees the average rail power for the interval.
+        reading = self.power_sensor.measure(true_average_power, self._time_s + duration_s)
+
+        self.energy_meter.add_interval(
+            (core_energy_j + uncore_energy_j) / interval_s if interval_s > 0 else 0.0,
+            interval_s,
+        )
+        self.energy_meter.add_energy(transition_energy)
+        self._time_s += duration_s
+
+        return ClusterExecutionResult(
+            duration_s=duration_s,
+            energy_j=energy_j,
+            average_power_w=true_average_power,
+            operating_point=point,
+            operating_index=index,
+            core_results=core_results,
+            measured_power_w=reading.power_w,
+            temperature_c=temperature,
+            max_busy_cycles=max(demands),
+            total_busy_cycles=sum(demands),
+        )
+
+    def idle(self, duration_s: float) -> ClusterExecutionResult:
+        """Let the cluster sit idle for ``duration_s`` at the current point."""
+        return self.execute_workload([0.0] * self.num_cores, minimum_interval_s=duration_s)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def reset(self, operating_index: Optional[int] = None) -> None:
+        """Reset all state: PMUs, meters, sensor, thermal and DVFS history.
+
+        ``operating_index`` selects the operating point after the reset;
+        ``None`` returns the cluster to its power-on default (the fastest
+        point), so back-to-back simulation runs start from identical state.
+        """
+        for core in self.cores:
+            core.pmu.reset()
+        self.energy_meter.reset()
+        self.power_sensor.reset()
+        self.thermal_model.reset()
+        if operating_index is None:
+            operating_index = len(self.vf_table) - 1
+        self.dvfs.reset(operating_index)
+        self._time_s = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(name={self.name!r}, cores={self.num_cores}, "
+            f"opps={len(self.vf_table)})"
+        )

@@ -1,0 +1,84 @@
+"""Energy accounting helpers shared by the simulator and the experiments.
+
+These helpers compute the normalisations used throughout the paper's
+evaluation: energy normalised to the Oracle governor and performance
+normalised to the reference execution time (``Tref``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class EnergyAccount:
+    """Per-run energy/performance summary used for normalisation.
+
+    Attributes
+    ----------
+    total_energy_j:
+        Total energy consumed over the run.
+    total_time_s:
+        Total wall-clock time of the run.
+    frame_times_s:
+        Execution time of each frame.
+    reference_time_s:
+        The per-frame performance requirement (``Tref``).
+    """
+
+    total_energy_j: float
+    total_time_s: float
+    frame_times_s: Sequence[float]
+    reference_time_s: float
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the run (0 for an empty run)."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_energy_j / self.total_time_s
+
+    @property
+    def average_frame_time_s(self) -> float:
+        """Mean per-frame execution time (0 for an empty run)."""
+        if not self.frame_times_s:
+            return 0.0
+        return sum(self.frame_times_s) / len(self.frame_times_s)
+
+    @property
+    def normalized_performance(self) -> float:
+        """Average frame time divided by the reference time.
+
+        Matches the paper's Table I definition: values above 1 mean the
+        application under-performed (frames took longer than allowed), values
+        below 1 mean it over-performed.
+        """
+        if self.reference_time_s <= 0:
+            return 0.0
+        return self.average_frame_time_s / self.reference_time_s
+
+    def normalized_energy(self, oracle_energy_j: float) -> float:
+        """Energy divided by the Oracle's energy for the same workload."""
+        if oracle_energy_j <= 0:
+            raise ValueError("oracle energy must be positive for normalisation")
+        return self.total_energy_j / oracle_energy_j
+
+    def deadline_miss_ratio(self, tolerance: float = 0.0) -> float:
+        """Fraction of frames whose time exceeded ``Tref * (1 + tolerance)``."""
+        if not self.frame_times_s:
+            return 0.0
+        limit = self.reference_time_s * (1.0 + tolerance)
+        misses = sum(1 for t in self.frame_times_s if t > limit)
+        return misses / len(self.frame_times_s)
+
+
+def energy_saving_percent(candidate_energy_j: float, baseline_energy_j: float) -> float:
+    """Percentage energy saving of ``candidate`` relative to ``baseline``.
+
+    Positive values mean the candidate used less energy.  This is the
+    quantity behind the paper's headline "up to 16% energy savings".
+    """
+    if baseline_energy_j <= 0:
+        raise ValueError("baseline energy must be positive")
+    return 100.0 * (baseline_energy_j - candidate_energy_j) / baseline_energy_j

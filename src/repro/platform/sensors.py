@@ -1,0 +1,144 @@
+"""Power-sensor and energy-meter models.
+
+The ODROID-XU3 carries INA231 current/power monitors on the A15, A7, GPU and
+DRAM rails; the paper reads the A15 rail each frame and multiplies average
+power by execution time to obtain per-frame energy.  This module reproduces
+that measurement path: a sampled, quantised, optionally noisy power sensor
+and an integrating energy meter built on top of it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sample from a power sensor."""
+
+    timestamp_s: float
+    power_w: float
+
+
+@dataclass
+class PowerSensor:
+    """INA231-like sampled power sensor.
+
+    Parameters
+    ----------
+    sample_period_s:
+        Conversion period of the sensor; readings requested more often than
+        this return the previous conversion (the INA231 default conversion
+        time is ~1 ms with averaging bringing the effective period to ~10 ms).
+    resolution_w:
+        Quantisation step of the reported power.
+    noise_stddev_w:
+        Standard deviation of additive Gaussian measurement noise.
+    seed:
+        Seed for the noise generator, so simulations stay reproducible.
+    """
+
+    sample_period_s: float = 0.01
+    resolution_w: float = 0.005
+    noise_stddev_w: float = 0.0
+    seed: Optional[int] = 0
+    _rng: random.Random = field(init=False, repr=False)
+    _last_reading: Optional[SensorReading] = field(init=False, default=None)
+    _history: List[SensorReading] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.sample_period_s <= 0:
+            raise ConfigurationError("sample_period_s must be positive")
+        if self.resolution_w < 0 or self.noise_stddev_w < 0:
+            raise ConfigurationError("resolution and noise must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def measure(self, true_power_w: float, timestamp_s: float) -> SensorReading:
+        """Measure ``true_power_w`` at ``timestamp_s``.
+
+        If less than one sample period has elapsed since the previous
+        conversion the previous reading is returned unchanged, modelling the
+        sensor's conversion latency.
+        """
+        if true_power_w < 0:
+            raise ValueError(f"power must be non-negative, got {true_power_w}")
+        if (
+            self._last_reading is not None
+            and timestamp_s - self._last_reading.timestamp_s < self.sample_period_s
+        ):
+            return self._last_reading
+        measured = true_power_w
+        if self.noise_stddev_w > 0:
+            measured += self._rng.gauss(0.0, self.noise_stddev_w)
+        if self.resolution_w > 0:
+            measured = round(measured / self.resolution_w) * self.resolution_w
+        measured = max(0.0, measured)
+        reading = SensorReading(timestamp_s=timestamp_s, power_w=measured)
+        self._last_reading = reading
+        self._history.append(reading)
+        return reading
+
+    @property
+    def history(self) -> List[SensorReading]:
+        """All conversions performed so far."""
+        return list(self._history)
+
+    def reset(self) -> None:
+        """Forget all previous conversions."""
+        self._last_reading = None
+        self._history.clear()
+
+
+class EnergyMeter:
+    """Integrates power over time to produce energy totals.
+
+    The meter accepts exact (model-truth) power/duration pairs; it is used
+    both for the ground-truth energy accounting of the simulator and, via a
+    :class:`PowerSensor`, for the governor-visible measured energy.
+    """
+
+    def __init__(self) -> None:
+        self._energy_j = 0.0
+        self._elapsed_s = 0.0
+        self._intervals: List[SensorReading] = []
+
+    def add_interval(self, power_w: float, duration_s: float) -> None:
+        """Accumulate ``power_w`` drawn for ``duration_s`` seconds."""
+        if power_w < 0 or duration_s < 0:
+            raise ValueError("power and duration must be non-negative")
+        self._energy_j += power_w * duration_s
+        self._intervals.append(SensorReading(timestamp_s=self._elapsed_s, power_w=power_w))
+        self._elapsed_s += duration_s
+
+    def add_energy(self, energy_j: float) -> None:
+        """Accumulate a lump of energy (e.g. a DVFS transition cost)."""
+        if energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        self._energy_j += energy_j
+
+    @property
+    def energy_j(self) -> float:
+        """Total accumulated energy in joules."""
+        return self._energy_j
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total accumulated interval time in seconds."""
+        return self._elapsed_s
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over all accumulated intervals (0 if no time elapsed)."""
+        if self._elapsed_s <= 0:
+            return 0.0
+        return self._energy_j / self._elapsed_s
+
+    def reset(self) -> None:
+        """Zero the meter."""
+        self._energy_j = 0.0
+        self._elapsed_s = 0.0
+        self._intervals.clear()

@@ -1,0 +1,106 @@
+"""First-order RC thermal model.
+
+The XU3's A15 cluster heats up noticeably under sustained load, which both
+raises leakage power and (on the real board) eventually triggers thermal
+throttling.  The paper explicitly *disables* the thermal constraint of the
+multi-core DVFS baseline "for equivalence of comparison", so the default
+platform keeps temperature fixed; this model exists so that the
+leakage-temperature coupling and a thermal-aware ablation can be exercised
+(see DESIGN.md section 5).
+
+The model is the usual lumped RC network:
+
+    C * dT/dt = P - (T - T_amb) / R
+
+integrated with an exponential step per interval, which is exact for a
+constant power input over the interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThermalParameters:
+    """Constants of the lumped thermal model.
+
+    Attributes
+    ----------
+    ambient_c:
+        Ambient temperature in degrees Celsius.
+    resistance_c_per_w:
+        Junction-to-ambient thermal resistance.
+    capacitance_j_per_c:
+        Lumped thermal capacitance.
+    initial_c:
+        Junction temperature at the start of the simulation.
+    throttle_c:
+        Temperature at which a thermally-aware governor would throttle.
+    """
+
+    ambient_c: float = 30.0
+    resistance_c_per_w: float = 7.0
+    capacitance_j_per_c: float = 4.0
+    initial_c: float = 45.0
+    throttle_c: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.resistance_c_per_w <= 0 or self.capacitance_j_per_c <= 0:
+            raise ConfigurationError("thermal resistance and capacitance must be positive")
+        if self.initial_c < self.ambient_c:
+            raise ConfigurationError("initial temperature cannot be below ambient")
+
+
+@dataclass
+class ThermalModel:
+    """Lumped single-node thermal model for a cluster."""
+
+    parameters: ThermalParameters = field(default_factory=ThermalParameters)
+    enabled: bool = True
+    _temperature_c: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._temperature_c = self.parameters.initial_c
+
+    @property
+    def temperature_c(self) -> float:
+        """Current junction temperature in degrees Celsius."""
+        return self._temperature_c
+
+    @property
+    def is_throttling(self) -> bool:
+        """True when the junction temperature exceeds the throttle threshold."""
+        return self._temperature_c >= self.parameters.throttle_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Temperature the node would settle at under constant ``power_w``."""
+        p = self.parameters
+        return p.ambient_c + power_w * p.resistance_c_per_w
+
+    def step(self, power_w: float, duration_s: float) -> float:
+        """Advance the model by ``duration_s`` with constant ``power_w`` input.
+
+        Returns the junction temperature at the end of the interval.  When
+        the model is disabled the temperature is held at its initial value,
+        which matches the paper's "thermal constraint neglected" setting.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        if power_w < 0:
+            raise ValueError(f"power must be non-negative, got {power_w}")
+        if not self.enabled or duration_s == 0:
+            return self._temperature_c
+        p = self.parameters
+        tau = p.resistance_c_per_w * p.capacitance_j_per_c
+        steady = self.steady_state_c(power_w)
+        decay = math.exp(-duration_s / tau)
+        self._temperature_c = steady + (self._temperature_c - steady) * decay
+        return self._temperature_c
+
+    def reset(self) -> None:
+        """Return the junction to its initial temperature."""
+        self._temperature_c = self.parameters.initial_c

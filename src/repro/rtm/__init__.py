@@ -1,0 +1,88 @@
+"""Run-time management (RTM): the paper's primary contribution.
+
+This subpackage implements the Q-learning run-time manager of the paper and
+all of its building blocks:
+
+* :mod:`repro.rtm.prediction` — EWMA workload prediction (eq. 1) plus
+  baseline predictors;
+* :mod:`repro.rtm.state` — discretisation of workload and slack into the
+  Q-table's state space (N levels each);
+* :mod:`repro.rtm.qtable` — the Q-table itself;
+* :mod:`repro.rtm.rewards` — the slack-ratio (eq. 5) and reward (eq. 4)
+  computations;
+* :mod:`repro.rtm.exploration` — EPD (eq. 2) and UPD action selection and
+  the ε-decay schedule (eq. 6);
+* :mod:`repro.rtm.qlearning` — the Q-learning agent with the Bellman
+  update (eq. 3);
+* :mod:`repro.rtm.governor` — the governor interface shared with the
+  baseline governors in :mod:`repro.governors`;
+* :mod:`repro.rtm.rl_governor` — the proposed RTM as a DVFS governor;
+* :mod:`repro.rtm.multicore` — the many-core formulation (eq. 7): shared
+  Q-table with round-robin per-core updates;
+* :mod:`repro.rtm.overhead` — learning/adaptation overhead accounting
+  (T_OVH) and convergence measurement;
+* :mod:`repro.rtm.api` — the application-facing performance-requirement
+  API of the cross-layer framework.
+"""
+
+from repro.rtm.governor import (
+    Governor,
+    PlatformInfo,
+    EpochObservation,
+    FrameHint,
+)
+from repro.rtm.prediction import (
+    WorkloadPredictor,
+    EWMAPredictor,
+    LastValuePredictor,
+    NLMSPredictor,
+    PredictionRecord,
+    MispredictionStats,
+)
+from repro.rtm.state import StateSpace, Discretizer, WorkloadNormalisation
+from repro.rtm.qtable import QTable
+from repro.rtm.rewards import RewardParameters, SlackTracker, compute_reward
+from repro.rtm.exploration import (
+    ActionSelectionPolicy,
+    ExponentialPolicy,
+    UniformPolicy,
+    EpsilonSchedule,
+)
+from repro.rtm.qlearning import QLearningAgent, QLearningParameters
+from repro.rtm.rl_governor import RLGovernor, RLGovernorConfig
+from repro.rtm.multicore import MultiCoreRLGovernor
+from repro.rtm.overhead import OverheadModel, ConvergenceDetector
+from repro.rtm.api import RuntimeManagerAPI, PerformanceTarget
+
+__all__ = [
+    "Governor",
+    "PlatformInfo",
+    "EpochObservation",
+    "FrameHint",
+    "WorkloadPredictor",
+    "EWMAPredictor",
+    "LastValuePredictor",
+    "NLMSPredictor",
+    "PredictionRecord",
+    "MispredictionStats",
+    "StateSpace",
+    "Discretizer",
+    "WorkloadNormalisation",
+    "QTable",
+    "RewardParameters",
+    "SlackTracker",
+    "compute_reward",
+    "ActionSelectionPolicy",
+    "ExponentialPolicy",
+    "UniformPolicy",
+    "EpsilonSchedule",
+    "QLearningAgent",
+    "QLearningParameters",
+    "RLGovernor",
+    "RLGovernorConfig",
+    "MultiCoreRLGovernor",
+    "OverheadModel",
+    "ConvergenceDetector",
+    "RuntimeManagerAPI",
+    "PerformanceTarget",
+]

@@ -1,0 +1,201 @@
+"""Governor interface shared by the proposed RTM and all baseline governors.
+
+A governor is the decision-making component of the paper's run-time layer:
+at every decision epoch it is shown what happened during the previous epoch
+(cycle counts from the PMU, execution time, energy, the operating point in
+force) and must choose the operating-point index for the next epoch.
+
+The same interface is implemented by the paper's proposed RL governor
+(:class:`repro.rtm.rl_governor.RLGovernor` and
+:class:`repro.rtm.multicore.MultiCoreRLGovernor`) and by every baseline in
+:mod:`repro.governors`, so the simulation engine and the experiments treat
+them interchangeably.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import GovernorError
+from repro.platform.vf_table import VFTable
+from repro.workload.application import PerformanceRequirement
+
+
+@dataclass(frozen=True)
+class PlatformInfo:
+    """Static description of the platform a governor controls.
+
+    Attributes
+    ----------
+    num_cores:
+        Number of cores in the controlled cluster.
+    vf_table:
+        The cluster's operating-point table (the action space).
+    """
+
+    num_cores: int
+    vf_table: VFTable
+
+    @property
+    def num_actions(self) -> int:
+        """Number of selectable operating points."""
+        return len(self.vf_table)
+
+    def capacity_cycles(self, reference_time_s: float) -> float:
+        """Per-core cycle capacity within ``reference_time_s`` at the fastest point."""
+        return self.vf_table.max_point.frequency_hz * reference_time_s
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """Everything a governor may observe about the epoch that just finished.
+
+    Attributes
+    ----------
+    epoch_index:
+        Zero-based index of the finished decision epoch (= frame index).
+    cycles_per_core:
+        Busy cycles executed by each core during the epoch (PMU deltas).
+    busy_time_s:
+        Execution time of the frame's critical path (the quantity compared
+        against ``Tref`` for the performance requirement).
+    interval_s:
+        Full duration of the epoch including idle padding and DVFS stalls.
+    reference_time_s:
+        The per-frame performance requirement ``Tref``.
+    operating_index:
+        Operating-point index that was in force during the epoch.
+    energy_j:
+        Energy consumed during the epoch (as the governor would compute from
+        the power sensor and execution time).
+    measured_power_w:
+        Power reported by the on-board sensor for the epoch.
+    overhead_time_s:
+        Governor overhead charged to this epoch (sensor access, processing,
+        DVFS transition) — the paper's ``T_OVH`` contribution.
+    """
+
+    epoch_index: int
+    cycles_per_core: Tuple[float, ...]
+    busy_time_s: float
+    interval_s: float
+    reference_time_s: float
+    operating_index: int
+    energy_j: float
+    measured_power_w: float
+    overhead_time_s: float = 0.0
+
+    @property
+    def max_cycles(self) -> float:
+        """Largest per-core busy cycle count (the epoch's critical-path workload)."""
+        return max(self.cycles_per_core)
+
+    @property
+    def total_cycles(self) -> float:
+        """Total busy cycles summed over all cores."""
+        return sum(self.cycles_per_core)
+
+    @property
+    def instantaneous_slack(self) -> float:
+        """Per-epoch slack ratio ``(Tref - T_i) / Tref`` (positive = finished early)."""
+        if self.reference_time_s <= 0:
+            return 0.0
+        return (self.reference_time_s - self.busy_time_s) / self.reference_time_s
+
+    @property
+    def met_deadline(self) -> bool:
+        """True when the frame finished within its reference time."""
+        return self.busy_time_s <= self.reference_time_s + 1e-12
+
+
+@dataclass(frozen=True)
+class FrameHint:
+    """Perfect knowledge of the upcoming frame.
+
+    Only the Oracle governor uses this; online governors must ignore it.
+    The simulation engine always passes it so that the engine code does not
+    need to special-case the Oracle.
+    """
+
+    cycles_per_core: Tuple[float, ...]
+    deadline_s: float
+
+    @property
+    def max_cycles(self) -> float:
+        """Largest per-core cycle demand of the upcoming frame."""
+        return max(self.cycles_per_core)
+
+
+class Governor(ABC):
+    """Abstract DVFS governor driven once per decision epoch."""
+
+    #: Human-readable governor name used in reports and result tables.
+    name: str = "governor"
+
+    #: Per-epoch decision-processing time charged as overhead (seconds).
+    #: Simple heuristic governors are essentially free; learning governors
+    #: override this with their :class:`~repro.rtm.overhead.OverheadModel`.
+    processing_overhead_s: float = 0.0
+
+    def __init__(self) -> None:
+        self._platform: Optional[PlatformInfo] = None
+        self._requirement: Optional[PerformanceRequirement] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def setup(self, platform: PlatformInfo, requirement: PerformanceRequirement) -> None:
+        """Bind the governor to a platform and an application requirement.
+
+        Subclasses that override this must call ``super().setup(...)``.
+        """
+        self._platform = platform
+        self._requirement = requirement
+
+    @property
+    def platform(self) -> PlatformInfo:
+        """The platform this governor controls (raises if :meth:`setup` not called)."""
+        if self._platform is None:
+            raise GovernorError(f"governor {self.name!r} used before setup()")
+        return self._platform
+
+    @property
+    def requirement(self) -> PerformanceRequirement:
+        """The application requirement (raises if :meth:`setup` not called)."""
+        if self._requirement is None:
+            raise GovernorError(f"governor {self.name!r} used before setup()")
+        return self._requirement
+
+    # -- per-epoch decision -------------------------------------------------------
+    @abstractmethod
+    def decide(
+        self,
+        previous: Optional[EpochObservation],
+        hint: Optional[FrameHint] = None,
+    ) -> int:
+        """Choose the operating-point index for the next epoch.
+
+        Parameters
+        ----------
+        previous:
+            Observation of the epoch that just finished, or ``None`` at the
+            very first epoch.
+        hint:
+            Perfect knowledge of the upcoming frame; only the Oracle may use
+            it.
+        """
+
+    # -- optional reporting hooks -------------------------------------------------
+    @property
+    def exploration_count(self) -> int:
+        """Number of explorative decisions taken so far (0 for non-learning governors)."""
+        return 0
+
+    @property
+    def converged_epoch(self) -> Optional[int]:
+        """Epoch at which learning converged, if the governor learns and has converged."""
+        return None
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return self.name

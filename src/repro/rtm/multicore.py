@@ -1,0 +1,172 @@
+"""Many-core formulation of the proposed RTM (the paper's Section II-D).
+
+The many-core adaptation makes three changes relative to the single-agent
+formulation:
+
+1. each core has its own workload predictor, and the predicted workload of
+   the core under consideration is *normalised by the total predicted
+   workload of all cores* (eq. 7);
+2. a single Q-table is *shared* by all cores, so every core's experience
+   improves the same policy;
+3. only **one** core's state-action entry is updated per decision epoch, in
+   round-robin order, which keeps the Q-table size independent of the number
+   of cores (as opposed to enumerating joint V-F combinations).
+
+Because the A15 cluster has a single V-F domain, the selected action still
+applies to the whole cluster; what rotates is which core's observed and
+predicted workload defines the state being learnt.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.rtm.governor import EpochObservation, FrameHint, PlatformInfo
+from repro.rtm.prediction import EWMAPredictor, WorkloadPredictor
+from repro.rtm.rewards import compute_reward
+from repro.rtm.rl_governor import RLGovernor, RLGovernorConfig
+from repro.rtm.state import StateSpace, WorkloadNormalisation
+from repro.workload.application import PerformanceRequirement
+
+
+class MultiCoreRLGovernor(RLGovernor):
+    """Shared-Q-table, round-robin many-core variant of the proposed RTM."""
+
+    name = "proposed-rl-multicore"
+
+    def __init__(self, config: Optional[RLGovernorConfig] = None) -> None:
+        super().__init__(config)
+        self._core_predictors: List[WorkloadPredictor] = []
+        self._round_robin_core = 0
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def setup(self, platform: PlatformInfo, requirement: PerformanceRequirement) -> None:
+        super().setup(platform, requirement)
+        self._core_predictors = [
+            EWMAPredictor(gamma=self.config.ewma_gamma) for _ in range(platform.num_cores)
+        ]
+        self._round_robin_core = 0
+
+    def _make_state_space(self) -> StateSpace:
+        """Many-core state space.
+
+        With ``use_total_share_normalisation`` the per-core predicted
+        workload is normalised by the total predicted workload (the paper's
+        eq. 7); otherwise the cluster's critical-path prediction is
+        normalised by the per-core cycle capacity, which keeps the absolute
+        load information the shared V-F domain needs (see DESIGN.md,
+        "deviations").
+        """
+        normalisation = (
+            WorkloadNormalisation.TOTAL_SHARE
+            if self.config.use_total_share_normalisation
+            else WorkloadNormalisation.CAPACITY
+        )
+        return StateSpace(
+            workload_levels=self.config.workload_levels,
+            slack_levels=self.config.slack_levels,
+            normalisation=normalisation,
+        )
+
+    # -- introspection ---------------------------------------------------------------------
+    @property
+    def core_predictors(self) -> List[WorkloadPredictor]:
+        """Per-core workload predictors (raises before setup)."""
+        if not self._core_predictors:
+            raise ConfigurationError("MultiCoreRLGovernor used before setup()")
+        return self._core_predictors
+
+    @property
+    def round_robin_core(self) -> int:
+        """Index of the core whose state-action entry will be updated next."""
+        return self._round_robin_core
+
+    # -- per-epoch decision ---------------------------------------------------------------------
+    def decide(
+        self,
+        previous: Optional[EpochObservation],
+        hint: Optional[FrameHint] = None,
+    ) -> int:
+        agent = self.agent
+        if previous is None:
+            initial_state = self.state_space.state_index(1.0 / max(1, self.platform.num_cores), 0.0)
+            initial_action = self.platform.num_actions - 1
+            agent.qtable.record_visit(initial_state, initial_action)
+            self._pending_state = initial_state
+            self._pending_action = initial_action
+            self._last_overhead_s = self.config.overhead.epoch_overhead_s(learning=True)
+            return initial_action
+
+        # (1) Pay-off for the finished epoch — shared across cores because the
+        # frame deadline is a property of the whole cluster.
+        average_slack = self.slack_tracker.update(
+            previous.busy_time_s, previous.overhead_time_s
+        )
+        slack_delta = self.slack_tracker.slack_delta
+        progress_reward = compute_reward(average_slack, slack_delta, self.config.reward)
+        reward = compute_reward(
+            average_slack,
+            slack_delta,
+            self.config.reward,
+            instantaneous_slack=self.slack_tracker.last_instantaneous_slack,
+        )
+        self._reward_history.append(reward)
+
+        # (2) Per-core workload prediction.  In eq.-7 mode the round-robin
+        # core's normalised share defines the state; in the default capacity
+        # mode the cluster's predicted critical path (the largest per-core
+        # prediction) does, since that is what the shared V-F domain must
+        # accommodate.
+        predictions = []
+        for core_index, predictor in enumerate(self._core_predictors):
+            observed = (
+                previous.cycles_per_core[core_index]
+                if core_index < len(previous.cycles_per_core)
+                else 0.0
+            )
+            predictions.append(predictor.observe(observed))
+        focus_core = self._round_robin_core
+        if self.config.use_total_share_normalisation:
+            normalised = self.state_space.normalise_workload(
+                predictions[focus_core],
+                capacity_cycles=self.platform.capacity_cycles(self.requirement.tref_s),
+                all_core_predictions=predictions,
+            )
+        else:
+            # Critical-path prediction mapped onto the application's
+            # characterised workload range (online pre-characterisation).
+            self._range_tracker.observe(previous.max_cycles)
+            normalised = self._range_tracker.normalise(max(predictions))
+        next_state = self.state_space.state_index(normalised, average_slack)
+
+        # (3) Bellman update of the previous state-action pair in the shared table.
+        if self._pending_state is not None and self._pending_action is not None:
+            agent.update(
+                self._pending_state,
+                self._pending_action,
+                reward,
+                next_state,
+                progress_reward=progress_reward,
+            )
+
+        # (4) Select the next action (explorative or greedy) and rotate the core.
+        action, _sampled = agent.select_action(next_state, average_slack)
+        self._convergence.observe(
+            action,
+            explored=not agent.is_exploiting,
+            policy_changed=agent.last_update_changed_policy,
+        )
+        self._pending_state = next_state
+        self._pending_action = action
+        self._round_robin_core = (focus_core + 1) % self.platform.num_cores
+        self._last_overhead_s = self.config.overhead.epoch_overhead_s(
+            learning=not agent.is_exploiting
+        )
+        return action
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: shared Q-table, round-robin updates over "
+            f"{self.platform.num_cores} cores"
+        )

@@ -1,0 +1,127 @@
+"""Learning/adaptation overhead accounting and convergence detection.
+
+The paper identifies three overhead components of the RTM (Section III-D):
+sensor sampling (performance-counter register accesses), processing (the
+prediction, reward and Q-table computations) and V-F transitions.  Their sum
+per decision epoch is the ``T_OVH`` term of the slack equation (eq. 5), and
+the *number of decision epochs* a learning governor needs before its policy
+settles is the quantity compared in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Per-epoch time overhead of a learning governor.
+
+    Attributes
+    ----------
+    sensor_sampling_s:
+        Time to read the performance counters and power sensor each epoch.
+    learning_processing_s:
+        Processing time per epoch while the governor is still learning
+        (prediction + reward + Q-table update + action selection).
+    exploitation_processing_s:
+        Processing time per epoch once the governor only exploits (a table
+        lookup).
+    """
+
+    sensor_sampling_s: float = 8.0e-5
+    learning_processing_s: float = 6.0e-4
+    exploitation_processing_s: float = 1.5e-4
+
+    def __post_init__(self) -> None:
+        for name in ("sensor_sampling_s", "learning_processing_s", "exploitation_processing_s"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def epoch_overhead_s(self, learning: bool, transition_latency_s: float = 0.0) -> float:
+        """Total overhead charged to one decision epoch."""
+        if transition_latency_s < 0:
+            raise ValueError("transition_latency_s must be non-negative")
+        processing = self.learning_processing_s if learning else self.exploitation_processing_s
+        return self.sensor_sampling_s + processing + transition_latency_s
+
+
+class ConvergenceDetector:
+    """Detects when a learning governor's policy has settled.
+
+    The detector is fed, each epoch, whether the epoch belonged to the
+    learning/exploration phase, which action was chosen and (optionally)
+    whether the epoch's table update changed the greedy policy.  Convergence
+    is declared at the first epoch after which ``window`` consecutive epochs
+    were all
+
+    * non-explorative (the governor was exploiting its learnt knowledge),
+    * policy-stable (no table update changed a greedy action), and
+    * — when ``track_action_range`` is enabled — within ``tolerance`` table
+      steps of each other (the criterion used by the workload-bin baselines
+      whose decisions should settle on essentially one operating point).
+
+    The epoch number reported by :attr:`converged_epoch` is the Table III
+    quantity: the number of decision epochs of learning overhead incurred
+    before convergence.
+    """
+
+    def __init__(self, window: int = 20, tolerance: int = 1, track_action_range: bool = True) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be >= 0")
+        self.window = window
+        self.tolerance = tolerance
+        self.track_action_range = track_action_range
+        self._recent_actions: List[int] = []
+        self._recent_explorations: List[bool] = []
+        self._recent_policy_changes: List[bool] = []
+        self._epoch = 0
+        self._converged_epoch: Optional[int] = None
+
+    @property
+    def converged_epoch(self) -> Optional[int]:
+        """Epoch at which convergence was declared, or ``None`` if not yet converged."""
+        return self._converged_epoch
+
+    @property
+    def has_converged(self) -> bool:
+        """True once convergence has been declared."""
+        return self._converged_epoch is not None
+
+    def observe(self, action: int, explored: bool, policy_changed: bool = False) -> None:
+        """Record one epoch's decision."""
+        self._epoch += 1
+        if self._converged_epoch is not None:
+            return
+        self._recent_actions.append(action)
+        self._recent_explorations.append(explored)
+        self._recent_policy_changes.append(policy_changed)
+        if len(self._recent_actions) > self.window:
+            self._recent_actions.pop(0)
+            self._recent_explorations.pop(0)
+            self._recent_policy_changes.pop(0)
+        if len(self._recent_actions) < self.window:
+            return
+        if any(self._recent_explorations) or any(self._recent_policy_changes):
+            return
+        if self.track_action_range:
+            lowest = min(self._recent_actions)
+            highest = max(self._recent_actions)
+            if highest - lowest > self.tolerance:
+                return
+        # Converged `window` epochs ago; report the epoch at which the
+        # stable stretch began, i.e. the learning overhead actually paid.
+        self._converged_epoch = self._epoch - self.window
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._recent_actions.clear()
+        self._recent_explorations.clear()
+        self._recent_policy_changes.clear()
+        self._epoch = 0
+        self._converged_epoch = None

@@ -1,0 +1,228 @@
+"""Q-learning agent implementing the paper's learning rule (eq. 3).
+
+The agent owns the Q-table, the exploration policy and the ε schedule, and
+exposes exactly the two operations the RTM performs at each decision epoch:
+
+* :meth:`QLearningAgent.update` — apply the Bellman optimality update for
+  the previous state-action pair given the observed pay-off and the
+  predicted next state;
+* :meth:`QLearningAgent.select_action` — choose the action for the next
+  epoch, either by exploiting the greedy policy or by sampling the
+  exploration policy (EPD or UPD).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rtm.exploration import (
+    ActionSelectionPolicy,
+    EpsilonSchedule,
+    ExponentialPolicy,
+)
+from repro.rtm.qtable import QTable
+
+
+@dataclass
+class QLearningParameters:
+    """Hyper-parameters of the Q-learning agent.
+
+    Attributes
+    ----------
+    learning_rate:
+        The alpha of eq. (3): how far each update moves the Q-value towards
+        its target.
+    discount:
+        The gamma of eq. (3): weight of the bootstrapped next-state value.
+    initial_epsilon / epsilon_alpha / minimum_epsilon:
+        Parameters of the ε schedule (eq. 6).
+    epsilon_decay_on_any_reward:
+        If True the schedule decays every epoch (conventional behaviour,
+        used by the UPD baseline); if False it decays only on positive
+        pay-offs (the reward-coupled behaviour of the proposed approach).
+    initial_q_value:
+        Optimistic initial Q-value; zero by default.
+    """
+
+    learning_rate: float = 0.5
+    discount: float = 0.4
+    initial_epsilon: float = 0.9
+    epsilon_alpha: float = 0.25
+    minimum_epsilon: float = 0.02
+    epsilon_decay_on_any_reward: bool = False
+    initial_q_value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ConfigurationError("learning_rate must lie in (0, 1]")
+        if not 0.0 <= self.discount < 1.0:
+            raise ConfigurationError("discount must lie in [0, 1)")
+
+    def make_schedule(self) -> EpsilonSchedule:
+        """Build the ε schedule described by these parameters."""
+        return EpsilonSchedule(
+            initial_epsilon=self.initial_epsilon,
+            alpha=self.epsilon_alpha,
+            minimum_epsilon=self.minimum_epsilon,
+            decay_on_any_reward=self.epsilon_decay_on_any_reward,
+        )
+
+
+class QLearningAgent:
+    """Tabular Q-learning with pluggable exploration policy."""
+
+    def __init__(
+        self,
+        num_states: int,
+        num_actions: int,
+        action_frequencies_hz: Sequence[float],
+        parameters: Optional[QLearningParameters] = None,
+        policy: Optional[ActionSelectionPolicy] = None,
+        seed: int = 0,
+        qtable: Optional[QTable] = None,
+    ) -> None:
+        if len(action_frequencies_hz) != num_actions:
+            raise ConfigurationError(
+                "action_frequencies_hz must contain one frequency per action"
+            )
+        self.parameters = parameters or QLearningParameters()
+        self.policy = policy or ExponentialPolicy()
+        self.qtable = qtable or QTable(
+            num_states, num_actions, initial_value=self.parameters.initial_q_value
+        )
+        if self.qtable.num_states != num_states or self.qtable.num_actions != num_actions:
+            raise ConfigurationError("provided Q-table does not match the state/action sizes")
+        self.action_frequencies_hz = list(action_frequencies_hz)
+        self.epsilon_schedule = self.parameters.make_schedule()
+        self._rng = random.Random(seed)
+        self._exploration_draws = 0
+        self._update_count = 0
+        self._selection_count = 0
+        self._exploitation_start: Optional[int] = None
+        self._last_update_changed_policy = False
+
+    # -- statistics -----------------------------------------------------------------
+    @property
+    def exploration_draws(self) -> int:
+        """Number of explorative (policy-sampled) action selections so far."""
+        return self._exploration_draws
+
+    @property
+    def exploration_phase_length(self) -> int:
+        """Number of decision epochs spent in the exploration phase.
+
+        The exploration phase is the paper's learning period: the epochs
+        before the ε schedule has decayed to its floor and the RTM switches
+        to pure exploitation.  While the phase is still running this returns
+        the number of epochs elapsed so far.
+        """
+        if self._exploitation_start is None:
+            return self._selection_count
+        return self._exploitation_start
+
+    @property
+    def update_count(self) -> int:
+        """Number of Bellman updates applied so far."""
+        return self._update_count
+
+    @property
+    def last_update_changed_policy(self) -> bool:
+        """True if the most recent Bellman update changed its state's greedy action."""
+        return self._last_update_changed_policy
+
+    @property
+    def epsilon(self) -> float:
+        """Current exploration probability."""
+        return self.epsilon_schedule.epsilon
+
+    @property
+    def is_exploiting(self) -> bool:
+        """True once the ε schedule has fully decayed."""
+        return self.epsilon_schedule.is_exploiting
+
+    # -- learning -----------------------------------------------------------------------
+    def update(
+        self,
+        state: int,
+        action: int,
+        reward: float,
+        next_state: int,
+        progress_reward: Optional[float] = None,
+    ) -> float:
+        """Apply the Bellman optimality update of eq. (3) and decay ε.
+
+        The ε decay (eq. 6) is gated on the epoch having *confirmed* the
+        learnt policy: the pay-off was positive and the action agreed (within
+        one table step) with the state's greedy action — see
+        :class:`~repro.rtm.exploration.EpsilonSchedule`.
+
+        Parameters
+        ----------
+        reward:
+            Pay-off used for the Bellman update (may include per-frame miss
+            penalties).
+        progress_reward:
+            Pay-off used to gate the ε decay; defaults to ``reward``.  The
+            RTM passes the average-slack pay-off here so that a single
+            mispredicted frame does not stall the exploration schedule while
+            still being punished in the Q-values.
+
+        Returns the new Q-value of (state, action).
+        """
+        greedy_before = self.qtable.best_action(state)
+        confirmed = abs(action - greedy_before) <= 1
+        target = reward + self.parameters.discount * self.qtable.max_value(next_state)
+        new_value = self.qtable.update_towards(
+            state, action, target, self.parameters.learning_rate
+        )
+        self._last_update_changed_policy = self.qtable.best_action(state) != greedy_before
+        self._update_count += 1
+        gate_reward = reward if progress_reward is None else progress_reward
+        self.epsilon_schedule.update(gate_reward, confirmed=confirmed)
+        return new_value
+
+    # -- action selection ------------------------------------------------------------------
+    def select_action(self, state: int, slack: float) -> Tuple[int, bool]:
+        """Choose the action for ``state`` given the current slack.
+
+        Returns ``(action_index, explored)`` where ``explored`` is True when
+        the action came from the exploration policy rather than the greedy
+        Q-table lookup.
+        """
+        if self._exploitation_start is None and self.epsilon_schedule.is_exploiting:
+            self._exploitation_start = self._selection_count
+        self._selection_count += 1
+        explore = self.epsilon_schedule.should_explore(self._rng)
+        if explore:
+            action = self.policy.sample(
+                self.qtable.num_actions,
+                self.action_frequencies_hz,
+                slack,
+                self._rng,
+            )
+            self._exploration_draws += 1
+        else:
+            action = self.qtable.best_action(state)
+        self.qtable.record_visit(state, action)
+        return action, explore
+
+    def greedy_action(self, state: int) -> int:
+        """The current greedy action for ``state`` (no exploration, no bookkeeping)."""
+        return self.qtable.best_action(state)
+
+    def reset_learning_state(self) -> None:
+        """Reset ε and the exploration counters but keep the learnt Q-values.
+
+        This supports the learning-transfer scenario of the paper's
+        reference [12]: a table learnt for one application can be reused for
+        another while restarting the exploration schedule.
+        """
+        self.epsilon_schedule.reset()
+        self._exploration_draws = 0
+        self._update_count = 0
+        self._selection_count = 0
+        self._exploitation_start = None
+        self._last_update_changed_policy = False

@@ -1,0 +1,165 @@
+"""Q-table: the look-up table at the heart of the paper's RTM.
+
+The table has one row per discrete system state (workload level x slack
+level) and one column per V-F action.  Its size |S| x |A| is deliberately
+kept small (the paper discretises into N = 5 levels) because it determines
+the learning overhead; the many-core formulation shares a single table
+between all cores for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, StateSpaceError
+
+PathLike = Union[str, Path]
+
+
+class QTable:
+    """A dense table of Q-values over (state, action) pairs."""
+
+    def __init__(self, num_states: int, num_actions: int, initial_value: float = 0.0) -> None:
+        if num_states < 1 or num_actions < 1:
+            raise ConfigurationError("QTable requires at least one state and one action")
+        self._num_states = num_states
+        self._num_actions = num_actions
+        self._values: List[List[float]] = [
+            [initial_value] * num_actions for _ in range(num_states)
+        ]
+        self._visit_counts: List[List[int]] = [
+            [0] * num_actions for _ in range(num_states)
+        ]
+
+    # -- size ---------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of rows (discrete system states)."""
+        return self._num_states
+
+    @property
+    def num_actions(self) -> int:
+        """Number of columns (V-F actions)."""
+        return self._num_actions
+
+    @property
+    def size(self) -> int:
+        """Total number of state-action pairs |S| x |A|."""
+        return self._num_states * self._num_actions
+
+    # -- access ----------------------------------------------------------------------
+    def _check(self, state: int, action: Optional[int] = None) -> None:
+        if not 0 <= state < self._num_states:
+            raise StateSpaceError(f"state {state} out of range 0..{self._num_states - 1}")
+        if action is not None and not 0 <= action < self._num_actions:
+            raise StateSpaceError(f"action {action} out of range 0..{self._num_actions - 1}")
+
+    def get(self, state: int, action: int) -> float:
+        """Q-value of (state, action)."""
+        self._check(state, action)
+        return self._values[state][action]
+
+    def set(self, state: int, action: int, value: float) -> None:
+        """Overwrite the Q-value of (state, action)."""
+        self._check(state, action)
+        self._values[state][action] = value
+
+    def row(self, state: int) -> Tuple[float, ...]:
+        """All action values for ``state``."""
+        self._check(state)
+        return tuple(self._values[state])
+
+    def max_value(self, state: int) -> float:
+        """Largest Q-value in ``state``'s row (the Bellman bootstrap term)."""
+        self._check(state)
+        return max(self._values[state])
+
+    def best_action(self, state: int, tie_break: str = "highest") -> int:
+        """Index of the best action for ``state``.
+
+        Ties are broken towards the highest-index (fastest) action by
+        default, which is the performance-safe choice before any learning
+        has happened; ``tie_break="lowest"`` picks the slowest instead.
+        """
+        self._check(state)
+        row = self._values[state]
+        best = max(row)
+        candidates = [a for a, v in enumerate(row) if v == best]
+        if tie_break == "lowest":
+            return candidates[0]
+        return candidates[-1]
+
+    # -- learning bookkeeping ------------------------------------------------------------
+    def record_visit(self, state: int, action: int) -> None:
+        """Record that (state, action) was selected (for coverage statistics)."""
+        self._check(state, action)
+        self._visit_counts[state][action] += 1
+
+    def visit_count(self, state: int, action: int) -> int:
+        """How many times (state, action) has been selected."""
+        self._check(state, action)
+        return self._visit_counts[state][action]
+
+    def visited_state_count(self) -> int:
+        """Number of states that have been visited at least once."""
+        return sum(1 for counts in self._visit_counts if any(c > 0 for c in counts))
+
+    def visited_pair_count(self) -> int:
+        """Number of state-action pairs visited at least once."""
+        return sum(1 for counts in self._visit_counts for c in counts if c > 0)
+
+    def update_towards(self, state: int, action: int, target: float, learning_rate: float) -> float:
+        """Move Q(state, action) towards ``target`` by ``learning_rate`` and return the new value.
+
+        This implements the incremental form of the paper's eq. (3):
+        ``Q <- (1 - alpha) * Q + alpha * target``.
+        """
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigurationError(f"learning rate must lie in (0, 1], got {learning_rate}")
+        old = self.get(state, action)
+        new = (1.0 - learning_rate) * old + learning_rate * target
+        self.set(state, action, new)
+        return new
+
+    # -- greedy policy as a whole ------------------------------------------------------------
+    def greedy_policy(self) -> Tuple[int, ...]:
+        """The greedy action for every state."""
+        return tuple(self.best_action(s) for s in range(self._num_states))
+
+    # -- serialisation --------------------------------------------------------------------------
+    def to_json(self, path: PathLike) -> None:
+        """Persist the table (values and visit counts) to a JSON file."""
+        document = {
+            "num_states": self._num_states,
+            "num_actions": self._num_actions,
+            "values": self._values,
+            "visit_counts": self._visit_counts,
+        }
+        Path(path).write_text(json.dumps(document))
+
+    @classmethod
+    def from_json(cls, path: PathLike) -> "QTable":
+        """Load a table previously written by :meth:`to_json`."""
+        document = json.loads(Path(path).read_text())
+        table = cls(document["num_states"], document["num_actions"])
+        values = document["values"]
+        counts = document["visit_counts"]
+        if len(values) != table.num_states or any(
+            len(row) != table.num_actions for row in values
+        ):
+            raise ConfigurationError("Q-table file is inconsistent with its declared shape")
+        table._values = [list(map(float, row)) for row in values]
+        table._visit_counts = [list(map(int, row)) for row in counts]
+        return table
+
+    def copy(self) -> "QTable":
+        """Deep copy of the table."""
+        clone = QTable(self._num_states, self._num_actions)
+        clone._values = [list(row) for row in self._values]
+        clone._visit_counts = [list(row) for row in self._visit_counts]
+        return clone
+
+    def __repr__(self) -> str:
+        return f"QTable({self._num_states} states x {self._num_actions} actions)"

@@ -1,0 +1,30 @@
+"""Simulation engine: closed-loop application / governor / platform runs.
+
+The engine steps a frame-based application through the platform model one
+decision epoch at a time, exactly mirroring the paper's closed-loop RTM
+operation (Fig. 2a): at each epoch the governor observes the previous
+epoch's PMU and sensor data, chooses a V-F operating point, the platform
+executes the frame at that point, and the resulting time/energy feed the
+next decision.
+"""
+
+from repro.sim.epoch import FrameRecord
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.results import SimulationResult
+from repro.sim.metrics import MetricsSummary, summarize_records, frequency_histogram
+from repro.sim.runner import ExperimentRunner, GovernorFactory
+from repro.sim.comparison import ComparisonRow, compare_to_oracle
+
+__all__ = [
+    "FrameRecord",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "MetricsSummary",
+    "summarize_records",
+    "frequency_histogram",
+    "ExperimentRunner",
+    "GovernorFactory",
+    "ComparisonRow",
+    "compare_to_oracle",
+]

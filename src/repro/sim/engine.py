@@ -1,0 +1,156 @@
+"""Frame-stepped closed-loop simulation engine.
+
+One engine instance owns one :class:`~repro.platform.cluster.Cluster` and
+runs one application under one governor at a time, producing a
+:class:`~repro.sim.results.SimulationResult` with a per-epoch record of
+time, energy and governor behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.platform.cluster import Cluster
+from repro.rtm.governor import EpochObservation, FrameHint, Governor, PlatformInfo
+from repro.sim.epoch import FrameRecord
+from repro.sim.results import SimulationResult
+from repro.workload.application import Application
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine behaviour switches.
+
+    Attributes
+    ----------
+    idle_until_deadline:
+        If True (default) the cluster idles out the remainder of the frame
+        period when a frame finishes early, as a rate-limited periodic
+        application does on the real board.  Idle power at the selected
+        operating point is therefore part of the frame's energy, which is
+        what makes "race ahead then idle at high voltage" unattractive and
+        the Oracle's slowest-deadline-meeting point optimal.
+    charge_governor_overhead:
+        If True (default) the governor's per-epoch processing time and the
+        DVFS transition latency are added to the frame's execution time (the
+        paper's ``T_OVH``).
+    initial_operating_index:
+        Operating-point index in force before the first decision; ``None``
+        selects the fastest point (the after-boot default).
+    """
+
+    idle_until_deadline: bool = True
+    charge_governor_overhead: bool = True
+    initial_operating_index: Optional[int] = None
+
+
+class SimulationEngine:
+    """Runs applications under governors on a cluster model."""
+
+    def __init__(self, cluster: Cluster, config: Optional[SimulationConfig] = None) -> None:
+        self.cluster = cluster
+        self.config = config or SimulationConfig()
+
+    def platform_info(self) -> PlatformInfo:
+        """Static platform description handed to governors at setup."""
+        return PlatformInfo(
+            num_cores=self.cluster.num_cores,
+            vf_table=self.cluster.vf_table,
+        )
+
+    def run(
+        self,
+        application: Application,
+        governor: Governor,
+        reset_cluster: bool = True,
+    ) -> SimulationResult:
+        """Execute ``application`` under ``governor`` and return the run's result.
+
+        Parameters
+        ----------
+        application:
+            The frame sequence and performance requirement to execute.
+        governor:
+            The DVFS policy under test; it is (re-)``setup()`` for this run.
+        reset_cluster:
+            If True (default) the cluster's meters, PMUs, thermal state and
+            DVFS history are cleared before the run so results are
+            independent of prior runs.
+        """
+        if application.num_frames == 0:
+            raise SimulationError("cannot simulate an application with no frames")
+        config = self.config
+        if reset_cluster:
+            self.cluster.reset(config.initial_operating_index)
+
+        governor.setup(self.platform_info(), application.requirement)
+
+        result = SimulationResult(
+            governor_name=governor.name,
+            application_name=application.name,
+            reference_time_s=application.reference_time_s,
+        )
+        previous_observation: Optional[EpochObservation] = None
+        previous_exploration_count = governor.exploration_count
+
+        for frame in application:
+            per_core = frame.cycles_per_core(self.cluster.num_cores)
+            hint = FrameHint(cycles_per_core=per_core, deadline_s=frame.deadline_s)
+
+            operating_index = governor.decide(previous_observation, hint)
+            transition = self.cluster.set_operating_index(operating_index)
+
+            minimum_interval = frame.deadline_s if config.idle_until_deadline else 0.0
+            execution = self.cluster.execute_workload(
+                per_core,
+                minimum_interval_s=minimum_interval,
+                pending_transition=transition,
+            )
+
+            busy_time = max(
+                core_result.busy_time_s for core_result in execution.core_results
+            )
+            overhead = 0.0
+            if config.charge_governor_overhead:
+                overhead = governor.processing_overhead_s + transition.latency_s
+            frame_time = busy_time + overhead
+
+            exploration_count = governor.exploration_count
+            explored = exploration_count > previous_exploration_count
+            previous_exploration_count = exploration_count
+
+            record = FrameRecord(
+                index=frame.index,
+                operating_index=execution.operating_index,
+                frequency_mhz=execution.operating_point.frequency_mhz,
+                cycles_per_core=tuple(per_core),
+                busy_time_s=busy_time,
+                overhead_time_s=overhead,
+                frame_time_s=frame_time,
+                interval_s=execution.duration_s,
+                deadline_s=frame.deadline_s,
+                energy_j=execution.energy_j,
+                average_power_w=execution.average_power_w,
+                measured_power_w=execution.measured_power_w,
+                temperature_c=execution.temperature_c,
+                explored=explored,
+            )
+            result.records.append(record)
+
+            previous_observation = EpochObservation(
+                epoch_index=frame.index,
+                cycles_per_core=tuple(per_core),
+                busy_time_s=busy_time,
+                interval_s=execution.duration_s,
+                reference_time_s=frame.deadline_s,
+                operating_index=execution.operating_index,
+                energy_j=execution.energy_j,
+                measured_power_w=execution.measured_power_w,
+                overhead_time_s=overhead,
+            )
+
+        result.exploration_count = governor.exploration_count
+        result.converged_epoch = governor.converged_epoch
+        return result

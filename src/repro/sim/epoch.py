@@ -1,0 +1,82 @@
+"""Per-epoch (per-frame) simulation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Everything measured about one decision epoch of a simulation run.
+
+    Attributes
+    ----------
+    index:
+        Frame / decision-epoch index.
+    operating_index:
+        Operating-point index in force during the epoch.
+    frequency_mhz:
+        Frequency of that operating point, in MHz (for reporting).
+    cycles_per_core:
+        Busy cycles executed by each core.
+    busy_time_s:
+        Critical-path execution time of the frame (excludes overhead).
+    overhead_time_s:
+        Governor overhead charged to the epoch (processing + sensor access +
+        DVFS transition latency), the paper's per-epoch ``T_OVH``.
+    frame_time_s:
+        ``busy_time_s + overhead_time_s`` — the time compared against the
+        deadline.
+    interval_s:
+        Full wall-clock duration of the epoch including idle padding.
+    deadline_s:
+        The frame's deadline (``Tref``).
+    energy_j:
+        Energy consumed during the epoch.
+    average_power_w:
+        True average power over the epoch.
+    measured_power_w:
+        Power as reported by the on-board sensor.
+    temperature_c:
+        Junction temperature at the end of the epoch.
+    explored:
+        True if the governor reported this epoch's action as explorative.
+    """
+
+    index: int
+    operating_index: int
+    frequency_mhz: float
+    cycles_per_core: Tuple[float, ...]
+    busy_time_s: float
+    overhead_time_s: float
+    frame_time_s: float
+    interval_s: float
+    deadline_s: float
+    energy_j: float
+    average_power_w: float
+    measured_power_w: float
+    temperature_c: float
+    explored: bool = False
+
+    @property
+    def met_deadline(self) -> bool:
+        """True when the frame (including overhead) finished within its deadline."""
+        return self.frame_time_s <= self.deadline_s + 1e-12
+
+    @property
+    def slack_ratio(self) -> float:
+        """Per-frame slack ratio ``(Tref - frame_time) / Tref``."""
+        if self.deadline_s <= 0:
+            return 0.0
+        return (self.deadline_s - self.frame_time_s) / self.deadline_s
+
+    @property
+    def max_cycles(self) -> float:
+        """Largest per-core cycle count in the epoch."""
+        return max(self.cycles_per_core)
+
+    @property
+    def total_cycles(self) -> float:
+        """Total cycles over all cores in the epoch."""
+        return sum(self.cycles_per_core)

@@ -1,0 +1,86 @@
+"""Aggregate metrics over simulation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.sim.epoch import FrameRecord
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Aggregate statistics over a sequence of frame records."""
+
+    num_frames: int
+    total_energy_j: float
+    total_time_s: float
+    average_power_w: float
+    average_frame_time_s: float
+    average_frequency_mhz: float
+    deadline_miss_ratio: float
+    mean_slack_ratio: float
+    total_overhead_s: float
+    exploration_epochs: int
+    dvfs_changes: int
+
+
+def summarize_records(records: Sequence[FrameRecord]) -> MetricsSummary:
+    """Compute a :class:`MetricsSummary` over ``records``."""
+    if not records:
+        return MetricsSummary(
+            num_frames=0,
+            total_energy_j=0.0,
+            total_time_s=0.0,
+            average_power_w=0.0,
+            average_frame_time_s=0.0,
+            average_frequency_mhz=0.0,
+            deadline_miss_ratio=0.0,
+            mean_slack_ratio=0.0,
+            total_overhead_s=0.0,
+            exploration_epochs=0,
+            dvfs_changes=0,
+        )
+    total_energy = sum(r.energy_j for r in records)
+    total_time = sum(r.interval_s for r in records)
+    num = len(records)
+    dvfs_changes = sum(
+        1
+        for earlier, later in zip(records, records[1:])
+        if earlier.operating_index != later.operating_index
+    )
+    return MetricsSummary(
+        num_frames=num,
+        total_energy_j=total_energy,
+        total_time_s=total_time,
+        average_power_w=total_energy / total_time if total_time > 0 else 0.0,
+        average_frame_time_s=sum(r.frame_time_s for r in records) / num,
+        average_frequency_mhz=sum(r.frequency_mhz for r in records) / num,
+        deadline_miss_ratio=sum(1 for r in records if not r.met_deadline) / num,
+        mean_slack_ratio=sum(r.slack_ratio for r in records) / num,
+        total_overhead_s=sum(r.overhead_time_s for r in records),
+        exploration_epochs=sum(1 for r in records if r.explored),
+        dvfs_changes=dvfs_changes,
+    )
+
+
+def frequency_histogram(records: Sequence[FrameRecord]) -> Dict[float, int]:
+    """Histogram of operating frequencies (MHz) over the records.
+
+    Useful for inspecting which operating points a governor settled on.
+    """
+    histogram: Dict[float, int] = {}
+    for record in records:
+        histogram[record.frequency_mhz] = histogram.get(record.frequency_mhz, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def energy_by_phase(records: Sequence[FrameRecord], boundary_frame: int) -> Dict[str, float]:
+    """Split the run's energy into before/after ``boundary_frame``.
+
+    Handy for separating the exploration (learning) phase from the
+    exploitation phase of a learning governor.
+    """
+    before = sum(r.energy_j for r in records if r.index < boundary_frame)
+    after = sum(r.energy_j for r in records if r.index >= boundary_frame)
+    return {"before": before, "after": after}

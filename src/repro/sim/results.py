@@ -1,0 +1,142 @@
+"""Simulation result container and the paper's normalisations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.platform.energy import EnergyAccount
+from repro.sim.epoch import FrameRecord
+
+
+@dataclass
+class SimulationResult:
+    """Complete outcome of running one governor over one application.
+
+    Attributes
+    ----------
+    governor_name / application_name:
+        Identification of the run.
+    reference_time_s:
+        The per-frame performance requirement the run was executed against.
+    records:
+        One :class:`~repro.sim.epoch.FrameRecord` per decision epoch.
+    exploration_count:
+        Number of explorative decisions the governor reported.
+    converged_epoch:
+        Epoch at which the governor's learning converged (``None`` for
+        non-learning governors or unconverged runs).
+    """
+
+    governor_name: str
+    application_name: str
+    reference_time_s: float
+    records: List[FrameRecord] = field(default_factory=list)
+    exploration_count: int = 0
+    converged_epoch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.reference_time_s <= 0:
+            raise SimulationError("reference_time_s must be positive")
+
+    # -- totals ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        """Number of simulated decision epochs."""
+        return len(self.records)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy over the run."""
+        return sum(r.energy_j for r in self.records)
+
+    @property
+    def total_time_s(self) -> float:
+        """Total wall-clock time of the run (sum of epoch intervals)."""
+        return sum(r.interval_s for r in self.records)
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the run."""
+        total_time = self.total_time_s
+        if total_time <= 0:
+            return 0.0
+        return self.total_energy_j / total_time
+
+    @property
+    def frame_times_s(self) -> List[float]:
+        """Per-frame execution times (busy + overhead)."""
+        return [r.frame_time_s for r in self.records]
+
+    @property
+    def average_frame_time_s(self) -> float:
+        """Mean per-frame execution time."""
+        if not self.records:
+            return 0.0
+        return sum(self.frame_times_s) / len(self.records)
+
+    # -- the paper's normalised metrics ----------------------------------------------
+    @property
+    def normalized_performance(self) -> float:
+        """Average frame time / Tref (Table I definition: >1 under-performs, <1 over-performs)."""
+        return self.average_frame_time_s / self.reference_time_s
+
+    def normalized_energy(self, oracle: "SimulationResult") -> float:
+        """This run's energy divided by the Oracle run's energy (Table I definition)."""
+        oracle_energy = oracle.total_energy_j
+        if oracle_energy <= 0:
+            raise SimulationError("oracle energy must be positive for normalisation")
+        return self.total_energy_j / oracle_energy
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        """Fraction of frames that missed their deadline."""
+        if not self.records:
+            return 0.0
+        misses = sum(1 for r in self.records if not r.met_deadline)
+        return misses / len(self.records)
+
+    @property
+    def mean_slack_ratio(self) -> float:
+        """Mean per-frame slack ratio."""
+        if not self.records:
+            return 0.0
+        return sum(r.slack_ratio for r in self.records) / len(self.records)
+
+    @property
+    def total_overhead_s(self) -> float:
+        """Total governor overhead charged over the run."""
+        return sum(r.overhead_time_s for r in self.records)
+
+    def energy_account(self) -> EnergyAccount:
+        """Export the run as an :class:`~repro.platform.energy.EnergyAccount`."""
+        return EnergyAccount(
+            total_energy_j=self.total_energy_j,
+            total_time_s=self.total_time_s,
+            frame_times_s=self.frame_times_s,
+            reference_time_s=self.reference_time_s,
+        )
+
+    # -- slicing ------------------------------------------------------------------------
+    def window(self, first_frame: int, last_frame: Optional[int] = None) -> "SimulationResult":
+        """A copy restricted to frames ``[first_frame, last_frame)`` (for phase analysis)."""
+        subset: Sequence[FrameRecord] = [
+            r
+            for r in self.records
+            if r.index >= first_frame and (last_frame is None or r.index < last_frame)
+        ]
+        return SimulationResult(
+            governor_name=self.governor_name,
+            application_name=self.application_name,
+            reference_time_s=self.reference_time_s,
+            records=list(subset),
+            exploration_count=self.exploration_count,
+            converged_epoch=self.converged_epoch,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.governor_name!r} on {self.application_name!r}, "
+            f"{self.num_frames} frames, {self.total_energy_j:.2f} J)"
+        )

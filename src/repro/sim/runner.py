@@ -1,0 +1,81 @@
+"""Experiment runner: run several governors over the same application.
+
+Comparative experiments (Table I and the examples) repeatedly execute the
+same frame sequence under different governors on a freshly reset platform.
+The runner takes *factories* rather than governor instances so that every
+run starts from an unlearnt governor, and it always includes an Oracle run
+when asked for normalised results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.governors.oracle import OracleGovernor
+from repro.platform.cluster import Cluster
+from repro.platform.odroid_xu3 import build_a15_cluster
+from repro.rtm.governor import Governor
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.results import SimulationResult
+from repro.workload.application import Application
+
+#: A callable that builds a fresh (unlearnt) governor instance.
+GovernorFactory = Callable[[], Governor]
+
+
+class ExperimentRunner:
+    """Runs a set of governors over one application on a shared platform model."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.cluster = cluster or build_a15_cluster()
+        self.engine = SimulationEngine(self.cluster, config)
+
+    def run_one(self, application: Application, factory: GovernorFactory) -> SimulationResult:
+        """Run a single governor (built fresh from ``factory``) over ``application``."""
+        governor = factory()
+        return self.engine.run(application, governor, reset_cluster=True)
+
+    def run_many(
+        self,
+        application: Application,
+        factories: Dict[str, GovernorFactory],
+    ) -> Dict[str, SimulationResult]:
+        """Run every governor in ``factories`` over the same application.
+
+        Returns a mapping from the factory's key to the run result.  Keys are
+        preserved as given so callers can use the paper's methodology names.
+        """
+        if not factories:
+            raise SimulationError("run_many requires at least one governor factory")
+        results: Dict[str, SimulationResult] = {}
+        for key, factory in factories.items():
+            results[key] = self.run_one(application, factory)
+        return results
+
+    def run_with_oracle(
+        self,
+        application: Application,
+        factories: Dict[str, GovernorFactory],
+        oracle_key: str = "oracle",
+    ) -> Dict[str, SimulationResult]:
+        """Run every governor plus an Oracle reference run.
+
+        The Oracle result is stored under ``oracle_key`` (and is not
+        overwritten if the caller supplied their own factory for that key).
+        """
+        all_factories = dict(factories)
+        all_factories.setdefault(oracle_key, OracleGovernor)
+        return self.run_many(application, all_factories)
+
+    def sweep(
+        self,
+        applications: Sequence[Application],
+        factory: GovernorFactory,
+    ) -> List[SimulationResult]:
+        """Run one governor across several applications (fresh instance per run)."""
+        return [self.run_one(application, factory) for application in applications]

@@ -1,0 +1,16 @@
+"""Version information for the repro package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this library.
+PAPER_TITLE = (
+    "Machine Learning for Run-Time Energy Optimisation in Many-Core Systems"
+)
+PAPER_VENUE = "DATE 2017"
+PAPER_AUTHORS = (
+    "Dwaipayan Biswas",
+    "Vibishna Balagopal",
+    "Rishad Shafik",
+    "Bashir M. Al-Hashimi",
+    "Geoff V. Merrett",
+)

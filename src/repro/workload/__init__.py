@@ -1,0 +1,59 @@
+"""Workload substrate: frame-based applications and synthetic workload models.
+
+The paper transforms every application (MPEG-4/H.264 decode, FFT, PARSEC,
+SPLASH-2) into a *periodic* structure: a sequence of frames, each with a
+deadline derived from the target frame rate, where each frame spawns
+multiple threads performing the work.  This subpackage provides
+
+* the frame/application abstractions (:mod:`repro.workload.task`,
+  :mod:`repro.workload.application`),
+* stochastic generators reproducing the workload *statistics* the paper's
+  applications exhibit (:mod:`repro.workload.video`,
+  :mod:`repro.workload.fft`, :mod:`repro.workload.parsec`,
+  :mod:`repro.workload.splash2`),
+* thread-split models (:mod:`repro.workload.threads`) and
+* trace containers with CSV/JSON round-trip (:mod:`repro.workload.trace`).
+"""
+
+from repro.workload.task import Frame
+from repro.workload.application import Application, PerformanceRequirement
+from repro.workload.generators import (
+    WorkloadGenerator,
+    PhaseSpec,
+    PhasedWorkloadGenerator,
+)
+from repro.workload.threads import ThreadSplitModel, EvenSplit, ImbalancedSplit
+from repro.workload.video import (
+    VideoWorkloadModel,
+    mpeg4_application,
+    h264_application,
+    h264_football_application,
+)
+from repro.workload.fft import FFTWorkloadModel, fft_application
+from repro.workload.parsec import parsec_application, PARSEC_BENCHMARKS
+from repro.workload.splash2 import splash2_application, SPLASH2_BENCHMARKS
+from repro.workload.trace import FrameTrace, TraceSummary
+
+__all__ = [
+    "Frame",
+    "Application",
+    "PerformanceRequirement",
+    "WorkloadGenerator",
+    "PhaseSpec",
+    "PhasedWorkloadGenerator",
+    "ThreadSplitModel",
+    "EvenSplit",
+    "ImbalancedSplit",
+    "VideoWorkloadModel",
+    "mpeg4_application",
+    "h264_application",
+    "h264_football_application",
+    "FFTWorkloadModel",
+    "fft_application",
+    "parsec_application",
+    "PARSEC_BENCHMARKS",
+    "splash2_application",
+    "SPLASH2_BENCHMARKS",
+    "FrameTrace",
+    "TraceSummary",
+]

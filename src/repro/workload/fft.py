@@ -1,0 +1,98 @@
+"""FFT workload model.
+
+An FFT of fixed size performs an almost identical amount of work every
+invocation: the cycle demand varies only through cache and memory-system
+noise.  The paper exploits exactly this property in Table II — the FFT's low
+workload variability means the RL governor visits few states and converges
+with the fewest explorations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.workload.application import Application
+from repro.workload.generators import WorkloadGenerator, truncated_gauss
+from repro.workload.threads import EvenSplit, ThreadSplitModel
+
+
+class FFTWorkloadModel(WorkloadGenerator):
+    """Near-constant per-frame cycle demand with small jitter.
+
+    Parameters
+    ----------
+    mean_frame_cycles:
+        Mean total cycle demand per frame.
+    jitter_cv:
+        Coefficient of variation of the per-frame demand (a few percent,
+        representing cache/memory noise).
+    drift_amplitude:
+        Amplitude of a very slow sinusoidal drift in the demand, modelling
+        input-size or temperature-induced effects; zero by default.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        frames_per_second: float,
+        mean_frame_cycles: float,
+        jitter_cv: float = 0.02,
+        drift_amplitude: float = 0.0,
+        drift_period_frames: int = 500,
+        num_threads: int = 4,
+        split_model: Optional[ThreadSplitModel] = None,
+        seed: int = 0,
+        reference_time_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            name=name,
+            frames_per_second=frames_per_second,
+            num_threads=num_threads,
+            split_model=split_model or EvenSplit(),
+            seed=seed,
+            reference_time_s=reference_time_s,
+        )
+        if mean_frame_cycles <= 0:
+            raise WorkloadError("mean_frame_cycles must be positive")
+        if jitter_cv < 0 or drift_amplitude < 0:
+            raise WorkloadError("jitter_cv and drift_amplitude must be non-negative")
+        if drift_period_frames <= 0:
+            raise WorkloadError("drift_period_frames must be positive")
+        self.mean_frame_cycles = mean_frame_cycles
+        self.jitter_cv = jitter_cv
+        self.drift_amplitude = drift_amplitude
+        self.drift_period_frames = drift_period_frames
+
+    def frame_cycles(self, frame_index: int, rng: random.Random) -> float:
+        drift = 1.0
+        if self.drift_amplitude > 0:
+            drift += self.drift_amplitude * math.sin(
+                2.0 * math.pi * frame_index / self.drift_period_frames
+            )
+        mean = self.mean_frame_cycles * drift
+        return truncated_gauss(rng, mean, mean * self.jitter_cv, minimum=0.5 * mean)
+
+    def frame_kind(self, frame_index: int) -> str:
+        return "fft"
+
+
+def fft_application(
+    num_frames: int = 300,
+    frames_per_second: float = 32.0,
+    mean_frame_cycles: float = 8.0e7,
+    seed: int = 3,
+    num_threads: int = 4,
+) -> Application:
+    """Periodic FFT at 32 fps, the configuration used in the paper's Table II."""
+    model = FFTWorkloadModel(
+        name="fft",
+        frames_per_second=frames_per_second,
+        mean_frame_cycles=mean_frame_cycles,
+        jitter_cv=0.02,
+        num_threads=num_threads,
+        seed=seed,
+    )
+    return model.generate(num_frames)

@@ -1,0 +1,110 @@
+"""PARSEC-like benchmark workload models.
+
+The paper evaluates its governor on PARSEC benchmarks after transforming
+them into the periodic frame structure (each frame = one region of interest
+iteration with a deadline).  We cannot ship the PARSEC inputs, so each
+benchmark here is a phase-structured stochastic model whose phase lengths,
+relative intensities and variability follow the published characterisation
+of the corresponding program (Bienia et al., PACT 2008): bodytrack
+alternates particle-filter and image-processing phases, ferret is a
+pipelined similarity search with fairly even stages, x264 behaves like the
+video model, and blackscholes/swaptions are close to constant work per
+iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.workload.application import Application
+from repro.workload.generators import PhaseSpec, PhasedWorkloadGenerator
+from repro.workload.threads import ImbalancedSplit
+
+#: Catalogue of PARSEC-like benchmark models: name -> (fps, phases).
+#: ``mean_cycles`` values are totals over four threads per frame, chosen so the
+#: A15 cluster runs at 40-70% of its 2 GHz capacity — the regime where DVFS
+#: has room to act.
+_PARSEC_CATALOGUE: Dict[str, Sequence[PhaseSpec]] = {
+    "blackscholes": (
+        PhaseSpec(name="pricing", length_frames=50, mean_cycles=7.0e7, cv=0.03),
+    ),
+    "bodytrack": (
+        PhaseSpec(name="particle-filter", length_frames=12, mean_cycles=1.3e8, cv=0.10),
+        PhaseSpec(name="image-processing", length_frames=8, mean_cycles=8.0e7, cv=0.07),
+        PhaseSpec(name="annealing", length_frames=5, mean_cycles=1.6e8, cv=0.12),
+    ),
+    "ferret": (
+        PhaseSpec(name="segmentation", length_frames=10, mean_cycles=9.0e7, cv=0.06),
+        PhaseSpec(name="extraction", length_frames=10, mean_cycles=1.1e8, cv=0.08),
+        PhaseSpec(name="ranking", length_frames=10, mean_cycles=1.0e8, cv=0.07),
+    ),
+    "swaptions": (
+        PhaseSpec(name="hjm-simulation", length_frames=40, mean_cycles=9.5e7, cv=0.04),
+    ),
+    "x264": (
+        PhaseSpec(name="intra", length_frames=3, mean_cycles=1.6e8, cv=0.12),
+        PhaseSpec(name="inter", length_frames=21, mean_cycles=1.0e8, cv=0.14),
+    ),
+    "streamcluster": (
+        PhaseSpec(name="assign", length_frames=15, mean_cycles=1.2e8, cv=0.06),
+        PhaseSpec(name="recentre", length_frames=10, mean_cycles=8.5e7, cv=0.05),
+    ),
+}
+
+#: Names of the available PARSEC-like benchmarks.
+PARSEC_BENCHMARKS = tuple(sorted(_PARSEC_CATALOGUE))
+
+#: Default frame rate at which the periodic transformation runs each benchmark.
+_DEFAULT_FPS = 25.0
+
+
+def parsec_application(
+    benchmark: str,
+    num_frames: int = 300,
+    frames_per_second: float = _DEFAULT_FPS,
+    seed: int = 21,
+    num_threads: int = 4,
+    scale: float = 1.0,
+) -> Application:
+    """Build a PARSEC-like periodic application.
+
+    Parameters
+    ----------
+    benchmark:
+        One of :data:`PARSEC_BENCHMARKS`.
+    num_frames:
+        Number of periodic iterations to generate.
+    frames_per_second:
+        Frame rate of the periodic transformation (sets the deadline).
+    seed:
+        Generator seed.
+    num_threads:
+        Threads spawned per frame (one per A15 core by default).
+    scale:
+        Multiplier applied to every phase's mean demand, for sweeps.
+    """
+    if benchmark not in _PARSEC_CATALOGUE:
+        raise WorkloadError(
+            f"unknown PARSEC benchmark {benchmark!r}; available: {PARSEC_BENCHMARKS}"
+        )
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    phases = [
+        PhaseSpec(
+            name=p.name,
+            length_frames=p.length_frames,
+            mean_cycles=p.mean_cycles * scale,
+            cv=p.cv,
+        )
+        for p in _PARSEC_CATALOGUE[benchmark]
+    ]
+    generator = PhasedWorkloadGenerator(
+        name=f"parsec-{benchmark}",
+        frames_per_second=frames_per_second,
+        phases=phases,
+        num_threads=num_threads,
+        split_model=ImbalancedSplit(0.2),
+        seed=seed,
+    )
+    return generator.generate(num_frames)

@@ -1,0 +1,91 @@
+"""SPLASH-2-like benchmark workload models.
+
+As with :mod:`repro.workload.parsec`, the SPLASH-2 programs the paper runs
+are modelled as phase-structured stochastic workloads wrapped into the
+periodic frame structure.  Phase shapes follow the published
+characterisation (Woo et al., ISCA 1995): the kernels (fft, lu, radix) have
+very regular per-iteration work, whereas the applications (barnes, ocean,
+raytrace) alternate phases of differing intensity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import WorkloadError
+from repro.workload.application import Application
+from repro.workload.generators import PhaseSpec, PhasedWorkloadGenerator
+from repro.workload.threads import ImbalancedSplit
+
+#: Catalogue of SPLASH-2-like benchmark models.
+_SPLASH2_CATALOGUE: Dict[str, Sequence[PhaseSpec]] = {
+    "fft": (
+        PhaseSpec(name="transpose", length_frames=10, mean_cycles=8.5e7, cv=0.03),
+        PhaseSpec(name="butterfly", length_frames=20, mean_cycles=7.5e7, cv=0.02),
+    ),
+    "lu": (
+        PhaseSpec(name="factor-diagonal", length_frames=8, mean_cycles=9.0e7, cv=0.04),
+        PhaseSpec(name="update-trailing", length_frames=22, mean_cycles=1.1e8, cv=0.05),
+    ),
+    "radix": (
+        PhaseSpec(name="histogram", length_frames=12, mean_cycles=6.5e7, cv=0.03),
+        PhaseSpec(name="permute", length_frames=12, mean_cycles=8.0e7, cv=0.04),
+    ),
+    "barnes": (
+        PhaseSpec(name="tree-build", length_frames=6, mean_cycles=7.0e7, cv=0.08),
+        PhaseSpec(name="force-compute", length_frames=18, mean_cycles=1.4e8, cv=0.09),
+        PhaseSpec(name="advance", length_frames=6, mean_cycles=5.5e7, cv=0.06),
+    ),
+    "ocean": (
+        PhaseSpec(name="relaxation", length_frames=16, mean_cycles=1.2e8, cv=0.07),
+        PhaseSpec(name="multigrid", length_frames=14, mean_cycles=9.0e7, cv=0.08),
+    ),
+    "raytrace": (
+        PhaseSpec(name="primary-rays", length_frames=10, mean_cycles=1.0e8, cv=0.12),
+        PhaseSpec(name="secondary-rays", length_frames=15, mean_cycles=1.3e8, cv=0.15),
+    ),
+}
+
+#: Names of the available SPLASH-2-like benchmarks.
+SPLASH2_BENCHMARKS = tuple(sorted(_SPLASH2_CATALOGUE))
+
+#: Default frame rate at which the periodic transformation runs each benchmark.
+_DEFAULT_FPS = 25.0
+
+
+def splash2_application(
+    benchmark: str,
+    num_frames: int = 300,
+    frames_per_second: float = _DEFAULT_FPS,
+    seed: int = 31,
+    num_threads: int = 4,
+    scale: float = 1.0,
+) -> Application:
+    """Build a SPLASH-2-like periodic application.
+
+    Parameters mirror :func:`repro.workload.parsec.parsec_application`.
+    """
+    if benchmark not in _SPLASH2_CATALOGUE:
+        raise WorkloadError(
+            f"unknown SPLASH-2 benchmark {benchmark!r}; available: {SPLASH2_BENCHMARKS}"
+        )
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    phases = [
+        PhaseSpec(
+            name=p.name,
+            length_frames=p.length_frames,
+            mean_cycles=p.mean_cycles * scale,
+            cv=p.cv,
+        )
+        for p in _SPLASH2_CATALOGUE[benchmark]
+    ]
+    generator = PhasedWorkloadGenerator(
+        name=f"splash2-{benchmark}",
+        frames_per_second=frames_per_second,
+        phases=phases,
+        num_threads=num_threads,
+        split_model=ImbalancedSplit(0.15),
+        seed=seed,
+    )
+    return generator.generate(num_frames)

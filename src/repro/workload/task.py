@@ -1,0 +1,92 @@
+"""Frame/task abstraction.
+
+A *frame* is one iteration of the paper's periodic application structure:
+a unit of work with a deadline, split into per-thread cycle demands that the
+platform maps onto cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One periodic iteration of an application.
+
+    Attributes
+    ----------
+    index:
+        Zero-based frame number within the application.
+    thread_cycles:
+        Cycle demand of each thread spawned for this frame.  Thread *k* is
+        mapped to core *k mod C* by the simulator.
+    deadline_s:
+        Time budget for the frame (the application's per-frame performance
+        requirement, ``Tref``).
+    kind:
+        Optional tag describing the frame type (e.g. ``"I"``, ``"P"``,
+        ``"B"`` for video frames, or a benchmark phase name).
+    """
+
+    index: int
+    thread_cycles: Tuple[float, ...]
+    deadline_s: float
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise WorkloadError(f"frame index must be non-negative, got {self.index}")
+        if not self.thread_cycles:
+            raise WorkloadError("a frame must have at least one thread")
+        if any(c < 0 for c in self.thread_cycles):
+            raise WorkloadError("thread cycle demands must be non-negative")
+        if self.deadline_s <= 0:
+            raise WorkloadError(f"frame deadline must be positive, got {self.deadline_s}")
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of all thread cycle demands."""
+        return sum(self.thread_cycles)
+
+    @property
+    def max_thread_cycles(self) -> float:
+        """Largest single-thread cycle demand (the critical path of the frame)."""
+        return max(self.thread_cycles)
+
+    @property
+    def num_threads(self) -> int:
+        """Number of threads spawned for this frame."""
+        return len(self.thread_cycles)
+
+    def cycles_per_core(self, num_cores: int) -> Tuple[float, ...]:
+        """Map thread demands onto ``num_cores`` cores (thread *k* → core *k mod C*).
+
+        Returns a tuple of length ``num_cores`` with the aggregated cycle
+        demand per core.
+        """
+        if num_cores <= 0:
+            raise WorkloadError(f"num_cores must be positive, got {num_cores}")
+        per_core = [0.0] * num_cores
+        for thread_index, cycles in enumerate(self.thread_cycles):
+            per_core[thread_index % num_cores] += cycles
+        return tuple(per_core)
+
+    def required_frequency_hz(self, num_cores: int) -> float:
+        """Minimum cluster frequency that meets the deadline on ``num_cores`` cores."""
+        per_core = self.cycles_per_core(num_cores)
+        return max(per_core) / self.deadline_s
+
+    def scaled(self, factor: float) -> "Frame":
+        """Return a copy with every thread demand multiplied by ``factor``."""
+        if factor < 0:
+            raise WorkloadError(f"scale factor must be non-negative, got {factor}")
+        return Frame(
+            index=self.index,
+            thread_cycles=tuple(c * factor for c in self.thread_cycles),
+            deadline_s=self.deadline_s,
+            kind=self.kind,
+        )

@@ -1,0 +1,60 @@
+"""Unit tests for the energy-accounting helpers."""
+
+import pytest
+
+from repro.platform.energy import EnergyAccount, energy_saving_percent
+
+
+@pytest.fixture
+def account() -> EnergyAccount:
+    return EnergyAccount(
+        total_energy_j=100.0,
+        total_time_s=50.0,
+        frame_times_s=[0.030, 0.040, 0.050],
+        reference_time_s=0.040,
+    )
+
+
+class TestEnergyAccount:
+    def test_average_power(self, account):
+        assert account.average_power_w == pytest.approx(2.0)
+
+    def test_average_frame_time(self, account):
+        assert account.average_frame_time_s == pytest.approx(0.040)
+
+    def test_normalized_performance_definition(self, account):
+        # Average frame time equals Tref -> normalised performance of exactly 1.
+        assert account.normalized_performance == pytest.approx(1.0)
+
+    def test_normalized_performance_over_and_under(self):
+        fast = EnergyAccount(1.0, 1.0, [0.020], 0.040)
+        slow = EnergyAccount(1.0, 1.0, [0.080], 0.040)
+        assert fast.normalized_performance == pytest.approx(0.5)
+        assert slow.normalized_performance == pytest.approx(2.0)
+
+    def test_normalized_energy(self, account):
+        assert account.normalized_energy(80.0) == pytest.approx(1.25)
+        with pytest.raises(ValueError):
+            account.normalized_energy(0.0)
+
+    def test_deadline_miss_ratio(self, account):
+        assert account.deadline_miss_ratio() == pytest.approx(1.0 / 3.0)
+        assert account.deadline_miss_ratio(tolerance=0.5) == 0.0
+
+    def test_empty_account(self):
+        empty = EnergyAccount(0.0, 0.0, [], 0.040)
+        assert empty.average_power_w == 0.0
+        assert empty.average_frame_time_s == 0.0
+        assert empty.deadline_miss_ratio() == 0.0
+
+
+class TestEnergySaving:
+    def test_positive_saving(self):
+        assert energy_saving_percent(84.0, 100.0) == pytest.approx(16.0)
+
+    def test_negative_saving_when_candidate_worse(self):
+        assert energy_saving_percent(110.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            energy_saving_percent(1.0, 0.0)

@@ -1,0 +1,129 @@
+"""Tests for the experiment drivers (reduced-scale runs of every table/figure).
+
+The full-scale shape assertions live in the benchmark harness
+(``benchmarks/``); these tests check that each driver runs end to end at a
+small scale, returns well-formed structured results and renders its table.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    format_figure3,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_figure3,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+SMALL = ExperimentSettings(num_frames=300, num_seeds=1)
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(SMALL)
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return run_table2(SMALL)
+
+
+@pytest.fixture(scope="module")
+def table3_result():
+    return run_table3(SMALL)
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    return run_figure3(SMALL)
+
+
+class TestTable1Driver:
+    def test_has_all_three_methodologies(self, table1_result):
+        names = {row.methodology for row in table1_result.rows}
+        assert names == {"Linux Ondemand [5]", "Multi-core DVFS control [20]", "Proposed"}
+
+    def test_energies_normalised_above_one(self, table1_result):
+        for row in table1_result.rows:
+            assert row.normalized_energy > 1.0
+            assert 0.0 < row.normalized_performance < 1.5
+
+    def test_proposed_beats_ondemand_on_energy(self, table1_result):
+        proposed = table1_result.row_for("Proposed")
+        ondemand = table1_result.row_for("Linux Ondemand [5]")
+        assert proposed.normalized_energy < ondemand.normalized_energy
+        assert table1_result.energy_saving_vs_ondemand_percent > 0.0
+
+    def test_row_for_unknown_methodology_raises(self, table1_result):
+        with pytest.raises(KeyError):
+            table1_result.row_for("does-not-exist")
+
+    def test_formatting_contains_paper_columns(self, table1_result):
+        text = format_table1(table1_result)
+        assert "Norm. energy (paper)" in text
+        assert "1.29" in text  # the paper's ondemand number is shown for comparison
+
+
+class TestTable2Driver:
+    def test_covers_three_applications(self, table2_rows):
+        assert {row.application for row in table2_rows} == {
+            "MPEG4 (30 fps)",
+            "H.264 (15 fps)",
+            "FFT (32 fps)",
+        }
+
+    def test_counts_are_positive_and_bounded(self, table2_rows):
+        for row in table2_rows:
+            assert 0 < row.explorations_ours <= 300
+            assert 0 < row.explorations_upd <= 300
+
+    def test_paper_reference_values_attached(self, table2_rows):
+        by_name = {row.application: row for row in table2_rows}
+        assert by_name["FFT (32 fps)"].paper_ours == 74
+        assert by_name["MPEG4 (30 fps)"].paper_upd == 144
+
+    def test_formatting(self, table2_rows):
+        text = format_table2(table2_rows)
+        assert "UPD [21]" in text and "Proposed (ours)" in text
+
+
+class TestTable3Driver:
+    def test_learning_epochs_positive(self, table3_result):
+        assert table3_result.proposed_learning_epochs > 0
+        assert table3_result.baseline_learning_epochs > 0
+
+    def test_overheads_positive(self, table3_result):
+        assert table3_result.proposed_overhead_s > 0.0
+        assert table3_result.baseline_overhead_s > 0.0
+
+    def test_paper_values_attached(self, table3_result):
+        assert table3_result.paper_baseline_epochs == 205
+        assert table3_result.paper_proposed_epochs == 105
+
+    def test_formatting(self, table3_result):
+        text = format_table3(table3_result)
+        assert "ffmpeg decode" in text
+        assert "205" in text
+
+
+class TestFigure3Driver:
+    def test_series_lengths_match(self, figure3_result):
+        assert len(figure3_result.predicted_cycles) == len(figure3_result.actual_cycles)
+        assert figure3_result.num_frames > 200
+        assert len(figure3_result.average_slack) >= figure3_result.num_frames
+
+    def test_gamma_is_paper_value(self, figure3_result):
+        assert figure3_result.ewma_gamma == pytest.approx(0.6)
+
+    def test_misprediction_percentages_reasonable(self, figure3_result):
+        assert 0.0 < figure3_result.late_misprediction_percent < 20.0
+        assert 0.0 < figure3_result.early_misprediction_percent < 30.0
+
+    def test_formatting(self, figure3_result):
+        text = format_figure3(figure3_result)
+        assert "Mean misprediction" in text
+        assert "0.6" in text

@@ -1,0 +1,189 @@
+"""Unit tests for the static and reactive baseline governors."""
+
+import pytest
+
+from repro.errors import GovernorError
+from repro.governors.base import StaticGovernor, observed_load
+from repro.governors.conservative import ConservativeGovernor, ConservativeParameters
+from repro.governors.ondemand import OndemandGovernor, OndemandParameters
+from repro.governors.oracle import OracleGovernor
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.governors.userspace import UserspaceGovernor
+from repro.rtm.governor import EpochObservation, FrameHint
+
+
+def make_observation(
+    busy_time_s: float,
+    interval_s: float,
+    operating_index: int = 18,
+    reference_time_s: float = 0.040,
+    epoch_index: int = 0,
+) -> EpochObservation:
+    return EpochObservation(
+        epoch_index=epoch_index,
+        cycles_per_core=(1e7, 1e7, 1e7, 1e7),
+        busy_time_s=busy_time_s,
+        interval_s=interval_s,
+        reference_time_s=reference_time_s,
+        operating_index=operating_index,
+        energy_j=0.1,
+        measured_power_w=2.0,
+    )
+
+
+class TestObservedLoad:
+    def test_load_is_busy_over_interval(self):
+        assert observed_load(make_observation(0.020, 0.040)) == pytest.approx(0.5)
+
+    def test_load_clamped_to_unit_interval(self):
+        assert observed_load(make_observation(0.080, 0.040)) == 1.0
+
+    def test_zero_interval(self):
+        assert observed_load(make_observation(0.0, 0.0)) == 0.0
+
+
+class TestStaticGovernors:
+    def test_performance_always_fastest(self, platform_info, requirement_25fps):
+        governor = PerformanceGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        assert governor.decide(None) == platform_info.num_actions - 1
+        assert governor.decide(make_observation(0.01, 0.04)) == platform_info.num_actions - 1
+
+    def test_powersave_always_slowest(self, platform_info, requirement_25fps):
+        governor = PowersaveGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        assert governor.decide(None) == 0
+        assert governor.decide(make_observation(0.05, 0.05)) == 0
+
+    def test_userspace_holds_and_changes_index(self, platform_info, requirement_25fps):
+        governor = UserspaceGovernor(index=3)
+        governor.setup(platform_info, requirement_25fps)
+        assert governor.decide(None) == 3
+        governor.set_frequency(1.5e9)
+        assert governor.decide(None) == platform_info.vf_table.nearest_index_for_frequency(1.5e9)
+        with pytest.raises(GovernorError):
+            governor.set_index(-1)
+
+    def test_unconfigured_static_governor_raises(self, platform_info, requirement_25fps):
+        governor = StaticGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        with pytest.raises(GovernorError):
+            governor.decide(None)
+
+    def test_governor_used_before_setup_raises(self):
+        with pytest.raises(GovernorError):
+            PerformanceGovernor().decide(None)
+
+    def test_non_learning_governors_report_no_learning(self, platform_info, requirement_25fps):
+        governor = PerformanceGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        assert governor.exploration_count == 0
+        assert governor.converged_epoch is None
+
+
+class TestOndemand:
+    def test_starts_at_maximum(self, platform_info, requirement_25fps):
+        governor = OndemandGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        assert governor.decide(None) == platform_info.num_actions - 1
+
+    def test_high_load_jumps_to_maximum(self, platform_info, requirement_25fps):
+        governor = OndemandGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        observation = make_observation(0.038, 0.040, operating_index=8)
+        assert governor.decide(observation) == platform_info.num_actions - 1
+
+    def test_low_load_scales_down_proportionally(self, platform_info, requirement_25fps):
+        governor = OndemandGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        # Load 0.4 at 2 GHz -> target roughly 2 GHz * 0.4 / 0.8 = 1 GHz.
+        observation = make_observation(0.016, 0.040, operating_index=18)
+        index = governor.decide(observation)
+        assert platform_info.vf_table[index].frequency_hz == pytest.approx(1.0e9, rel=0.11)
+
+    def test_never_drops_below_minimum(self, platform_info, requirement_25fps):
+        governor = OndemandGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        observation = make_observation(0.0001, 0.040, operating_index=0)
+        assert governor.decide(observation) >= 0
+
+    def test_sampling_down_factor_holds_maximum(self, platform_info, requirement_25fps):
+        governor = OndemandGovernor(OndemandParameters(sampling_down_factor=3))
+        governor.setup(platform_info, requirement_25fps)
+        governor.decide(make_observation(0.039, 0.040))  # jump to max, hold counter set
+        index = governor.decide(make_observation(0.010, 0.040, operating_index=18))
+        assert index == platform_info.num_actions - 1
+
+    def test_invalid_parameters_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            OndemandParameters(up_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            OndemandParameters(sampling_down_factor=0)
+
+
+class TestConservative:
+    def test_steps_up_on_high_load(self, platform_info, requirement_25fps):
+        governor = ConservativeGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        observation = make_observation(0.039, 0.040, operating_index=5)
+        assert governor.decide(observation) == 6
+
+    def test_steps_down_on_low_load(self, platform_info, requirement_25fps):
+        governor = ConservativeGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        observation = make_observation(0.002, 0.040, operating_index=5)
+        assert governor.decide(observation) == 4
+
+    def test_holds_on_moderate_load(self, platform_info, requirement_25fps):
+        governor = ConservativeGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        observation = make_observation(0.020, 0.040, operating_index=5)
+        assert governor.decide(observation) == 5
+
+    def test_clamped_at_table_edges(self, platform_info, requirement_25fps):
+        governor = ConservativeGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        low = make_observation(0.001, 0.040, operating_index=0)
+        assert governor.decide(low) == 0
+        high = make_observation(0.040, 0.040, operating_index=18)
+        assert governor.decide(high) == 18
+
+    def test_invalid_parameters_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ConservativeParameters(down_threshold=0.9, up_threshold=0.8)
+
+
+class TestOracle:
+    def test_selects_slowest_deadline_meeting_point(self, platform_info, requirement_25fps):
+        governor = OracleGovernor(guard_band=0.0)
+        governor.setup(platform_info, requirement_25fps)
+        hint = FrameHint(cycles_per_core=(3.0e7, 2.0e7, 1.0e7, 1.0e7), deadline_s=0.040)
+        index = governor.decide(None, hint)
+        point = platform_info.vf_table[index]
+        assert point.time_for_cycles(3.0e7) <= 0.040
+        if index > 0:
+            slower = platform_info.vf_table[index - 1]
+            assert slower.time_for_cycles(3.0e7) > 0.040
+
+    def test_guard_band_selects_faster_point_when_borderline(self, platform_info, requirement_25fps):
+        tight_hint = FrameHint(cycles_per_core=(4.0e7, 0.0, 0.0, 0.0), deadline_s=0.040)
+        no_guard = OracleGovernor(guard_band=0.0)
+        no_guard.setup(platform_info, requirement_25fps)
+        with_guard = OracleGovernor(guard_band=0.05)
+        with_guard.setup(platform_info, requirement_25fps)
+        assert with_guard.decide(None, tight_hint) >= no_guard.decide(None, tight_hint)
+
+    def test_requires_hint(self, platform_info, requirement_25fps):
+        governor = OracleGovernor()
+        governor.setup(platform_info, requirement_25fps)
+        with pytest.raises(GovernorError):
+            governor.decide(None, None)
+
+    def test_invalid_guard_band_rejected(self):
+        with pytest.raises(GovernorError):
+            OracleGovernor(guard_band=1.5)

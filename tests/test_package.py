@@ -1,0 +1,81 @@
+"""Package-level tests: imports, version metadata and the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackageMetadata:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_paper_identity(self):
+        assert "Run-Time Energy Optimisation" in repro.PAPER_TITLE
+        assert repro.PAPER_VENUE == "DATE 2017"
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} listed in __all__ but missing"
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.platform",
+            "repro.workload",
+            "repro.rtm",
+            "repro.governors",
+            "repro.sim",
+            "repro.experiments",
+            "repro.analysis",
+        ],
+    )
+    def test_subpackage_imports_cleanly(self, module):
+        imported = importlib.import_module(module)
+        assert imported is not None
+        for name in getattr(imported, "__all__", []):
+            assert hasattr(imported, name), f"{module}.{name} listed in __all__ but missing"
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import (
+            ConfigurationError,
+            GovernorError,
+            PlatformError,
+            ReproError,
+            SimulationError,
+            StateSpaceError,
+            WorkloadError,
+        )
+
+        for error_type in (
+            ConfigurationError,
+            GovernorError,
+            PlatformError,
+            SimulationError,
+            StateSpaceError,
+            WorkloadError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_invalid_operating_point_is_platform_error(self):
+        from repro.errors import InvalidOperatingPointError, PlatformError
+
+        assert issubclass(InvalidOperatingPointError, PlatformError)
+
+
+class TestQuickstartDocstringExample:
+    def test_module_docstring_example_runs(self):
+        """The example shown in the package docstring must actually work."""
+        from repro import build_a15_cluster, mpeg4_application
+        from repro.rtm import MultiCoreRLGovernor
+        from repro.sim import SimulationEngine
+
+        engine = SimulationEngine(build_a15_cluster())
+        result = engine.run(mpeg4_application(num_frames=120), MultiCoreRLGovernor())
+        assert round(result.normalized_performance, 2) <= 1.1

@@ -1,0 +1,130 @@
+"""Unit tests for the CMOS power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.odroid_xu3 import A15_VF_TABLE
+from repro.platform.power import PowerBreakdown, PowerModel, PowerModelParameters
+
+
+@pytest.fixture
+def model() -> PowerModel:
+    return PowerModel()
+
+
+class TestPowerBreakdown:
+    def test_total_is_sum_of_components(self):
+        breakdown = PowerBreakdown(dynamic_w=1.0, static_w=0.5, uncore_w=0.25)
+        assert breakdown.total_w == pytest.approx(1.75)
+
+    def test_addition(self):
+        a = PowerBreakdown(1.0, 0.5, 0.1)
+        b = PowerBreakdown(2.0, 0.25, 0.0)
+        combined = a + b
+        assert combined.dynamic_w == pytest.approx(3.0)
+        assert combined.static_w == pytest.approx(0.75)
+        assert combined.uncore_w == pytest.approx(0.1)
+
+    def test_scaling(self):
+        scaled = PowerBreakdown(1.0, 1.0, 1.0).scaled(0.5)
+        assert scaled.total_w == pytest.approx(1.5)
+
+
+class TestParameters:
+    def test_invalid_capacitance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModelParameters(effective_capacitance_f=0.0)
+
+    def test_invalid_idle_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModelParameters(idle_activity_factor=1.5)
+
+    def test_negative_leakage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModelParameters(leakage_k1_a=-0.1)
+
+
+class TestDynamicPower:
+    def test_increases_with_frequency(self, model):
+        slow, fast = A15_VF_TABLE[0], A15_VF_TABLE[-1]
+        assert model.dynamic_power_w(fast, 1.0) > model.dynamic_power_w(slow, 1.0)
+
+    def test_increases_with_utilisation(self, model):
+        point = A15_VF_TABLE[10]
+        assert model.dynamic_power_w(point, 1.0) > model.dynamic_power_w(point, 0.2)
+
+    def test_idle_floor_is_nonzero(self, model):
+        point = A15_VF_TABLE[10]
+        assert model.dynamic_power_w(point, 0.0) > 0.0
+
+    def test_utilisation_out_of_range_rejected(self, model):
+        point = A15_VF_TABLE[0]
+        with pytest.raises(ValueError):
+            model.dynamic_power_w(point, 1.5)
+        with pytest.raises(ValueError):
+            model.dynamic_power_w(point, -0.1)
+
+    def test_cubic_scaling_with_voltage_and_frequency(self, model):
+        """P_dyn is proportional to V^2 * f, the DVFS cubic-saving mechanism."""
+        slow, fast = A15_VF_TABLE[0], A15_VF_TABLE[-1]
+        ratio = model.dynamic_power_w(fast, 1.0) / model.dynamic_power_w(slow, 1.0)
+        expected = (fast.voltage_v ** 2 * fast.frequency_hz) / (
+            slow.voltage_v ** 2 * slow.frequency_hz
+        )
+        assert ratio == pytest.approx(expected, rel=1e-9)
+
+
+class TestStaticPower:
+    def test_increases_with_voltage(self, model):
+        assert model.static_power_w(A15_VF_TABLE[-1]) > model.static_power_w(A15_VF_TABLE[0])
+
+    def test_increases_with_temperature(self, model):
+        point = A15_VF_TABLE[10]
+        assert model.static_power_w(point, 85.0) > model.static_power_w(point, 45.0)
+
+
+class TestClusterPower:
+    def test_cluster_power_scales_with_core_count(self, model):
+        point = A15_VF_TABLE[12]
+        one = model.cluster_power(point, [1.0])
+        four = model.cluster_power(point, [1.0, 1.0, 1.0, 1.0])
+        # Four busy cores burn roughly 4x the core power (uncore charged once).
+        assert four.dynamic_w == pytest.approx(4 * one.dynamic_w)
+        assert four.uncore_w == pytest.approx(one.uncore_w)
+
+    def test_realistic_a15_cluster_power_range(self, model):
+        """Four busy A15 cores at 2 GHz draw single-digit watts, idle well below 1 W."""
+        busy = model.cluster_power(A15_VF_TABLE[-1], [1.0] * 4).total_w
+        idle = model.cluster_power(A15_VF_TABLE[0], [0.0] * 4).total_w
+        assert 3.0 < busy < 10.0
+        assert idle < 1.0
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self, model):
+        point = A15_VF_TABLE[9]
+        power = model.core_power(point, 1.0).total_w
+        assert model.energy_j(point, 1.0, 2.0) == pytest.approx(2.0 * power)
+
+    def test_negative_duration_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.energy_j(A15_VF_TABLE[0], 1.0, -1.0)
+
+    def test_race_to_idle_is_not_free(self, model):
+        """Running a fixed cycle count at high V-F costs more energy than at low V-F.
+
+        This is the convexity that makes the Oracle's slowest-deadline-meeting
+        choice optimal.
+        """
+        cycles = 5e7
+        slow, fast = A15_VF_TABLE[4], A15_VF_TABLE[-1]
+        assert model.energy_for_cycles_j(fast, cycles) > model.energy_for_cycles_j(slow, cycles)
+
+    def test_energy_for_cycles_monotone_in_frequency(self, model):
+        cycles = 5e7
+        energies = [model.energy_for_cycles_j(point, cycles) for point in A15_VF_TABLE]
+        # Busy energy per fixed work is non-decreasing with the operating point
+        # once voltage starts rising (allow equality for the flat-voltage region).
+        assert energies[-1] > energies[0]
+        for earlier, later in zip(energies[8:], energies[9:]):
+            assert later >= earlier - 1e-12

@@ -1,0 +1,114 @@
+"""Unit tests for the reward function (eq. 4) and slack tracker (eq. 5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rtm.rewards import RewardParameters, SlackTracker, compute_reward
+
+
+class TestComputeReward:
+    def test_positive_when_meeting_requirement(self):
+        assert compute_reward(average_slack=0.08, slack_delta=0.0) > 0.0
+
+    def test_negative_when_missing_budget(self):
+        assert compute_reward(average_slack=-0.1, slack_delta=0.0) < 0.0
+
+    def test_peak_near_target_slack(self):
+        parameters = RewardParameters()
+        at_target = compute_reward(parameters.target_slack, 0.0, parameters)
+        far_above = compute_reward(0.6, 0.0, parameters)
+        just_below_zero = compute_reward(-0.05, 0.0, parameters)
+        assert at_target > far_above
+        assert at_target > just_below_zero
+
+    def test_overperformance_monotonically_penalised(self):
+        rewards = [compute_reward(slack, 0.0) for slack in (0.1, 0.3, 0.5, 0.8)]
+        assert rewards == sorted(rewards, reverse=True)
+
+    def test_miss_penalty_scales_with_deficit(self):
+        small = compute_reward(-0.05, 0.0)
+        large = compute_reward(-0.30, 0.0)
+        assert large < small < 0.0
+
+    def test_slack_delta_term(self):
+        improving = compute_reward(0.1, slack_delta=0.05)
+        degrading = compute_reward(0.1, slack_delta=-0.05)
+        assert improving > degrading
+
+    def test_instantaneous_miss_penalises_even_with_healthy_average(self):
+        healthy = compute_reward(0.2, 0.0)
+        with_miss = compute_reward(0.2, 0.0, instantaneous_slack=-0.2)
+        assert with_miss < healthy
+
+    def test_instantaneous_positive_slack_has_no_extra_effect(self):
+        assert compute_reward(0.2, 0.0, instantaneous_slack=0.3) == pytest.approx(
+            compute_reward(0.2, 0.0)
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RewardParameters(overperformance_penalty=-1.0)
+        with pytest.raises(ConfigurationError):
+            RewardParameters(miss_penalty_weight=-1.0)
+
+
+class TestSlackTracker:
+    def test_single_epoch_matches_equation_5(self):
+        tracker = SlackTracker(reference_time_s=0.040)
+        slack = tracker.update(execution_time_s=0.030, overhead_time_s=0.002)
+        # L = (Tref - T - T_OVH) / (1 * Tref)
+        assert slack == pytest.approx((0.040 - 0.030 - 0.002) / 0.040)
+
+    def test_cumulative_average_over_epochs(self):
+        tracker = SlackTracker(reference_time_s=0.040, window=None)
+        tracker.update(0.030)  # slack 0.25
+        average = tracker.update(0.050)  # slack -0.25
+        assert average == pytest.approx(0.0)
+        assert tracker.epochs == 2
+
+    def test_windowed_average_forgets_old_epochs(self):
+        tracker = SlackTracker(reference_time_s=0.040, window=2)
+        tracker.update(0.000)  # slack 1.0
+        tracker.update(0.040)  # slack 0.0
+        average = tracker.update(0.040)  # slack 0.0; window covers the last two epochs
+        assert average == pytest.approx(0.0)
+
+    def test_slack_delta(self):
+        tracker = SlackTracker(reference_time_s=0.040, window=None)
+        tracker.update(0.030)
+        tracker.update(0.050)
+        assert tracker.slack_delta == pytest.approx(tracker.history[-1] - tracker.history[-2])
+
+    def test_last_instantaneous_slack(self):
+        tracker = SlackTracker(reference_time_s=0.040)
+        tracker.update(0.020)
+        tracker.update(0.060)
+        assert tracker.last_instantaneous_slack == pytest.approx(-0.5)
+
+    def test_history_records_every_epoch(self):
+        tracker = SlackTracker(reference_time_s=0.040)
+        for execution in (0.01, 0.02, 0.03):
+            tracker.update(execution)
+        assert len(tracker.history) == 3
+
+    def test_overhead_reduces_slack(self):
+        with_overhead = SlackTracker(0.040)
+        without_overhead = SlackTracker(0.040)
+        assert with_overhead.update(0.030, overhead_time_s=0.005) < without_overhead.update(0.030)
+
+    def test_reset_and_retarget(self):
+        tracker = SlackTracker(reference_time_s=0.040)
+        tracker.update(0.030)
+        tracker.reset(reference_time_s=0.020)
+        assert tracker.epochs == 0
+        assert tracker.average_slack == 0.0
+        assert tracker.reference_time_s == pytest.approx(0.020)
+
+    def test_invalid_construction_and_updates(self):
+        with pytest.raises(ConfigurationError):
+            SlackTracker(reference_time_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SlackTracker(reference_time_s=0.04, window=0)
+        tracker = SlackTracker(0.04)
+        with pytest.raises(ValueError):
+            tracker.update(-0.01)

@@ -1,0 +1,54 @@
+"""Unit tests for the application-facing performance-requirement API."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rtm.api import RuntimeManagerAPI
+
+
+class TestRuntimeManagerAPI:
+    def test_register_and_query(self):
+        api = RuntimeManagerAPI()
+        target = api.register("decoder", frames_per_second=25.0)
+        assert target.tref_s == pytest.approx(0.040)
+        assert api.num_applications == 1
+        assert api.target_for("decoder").application_name == "decoder"
+
+    def test_explicit_reference_time(self):
+        api = RuntimeManagerAPI()
+        target = api.register("ffmpeg", frames_per_second=25.0, reference_time_s=0.031)
+        assert target.tref_s == pytest.approx(0.031)
+
+    def test_effective_requirement_is_the_tightest(self):
+        api = RuntimeManagerAPI()
+        api.register("video", frames_per_second=24.0)
+        api.register("fft", frames_per_second=32.0)
+        assert api.effective_requirement().tref_s == pytest.approx(1.0 / 32.0)
+
+    def test_re_registration_replaces_target(self):
+        api = RuntimeManagerAPI()
+        api.register("video", frames_per_second=24.0)
+        api.register("video", frames_per_second=30.0)
+        assert api.num_applications == 1
+        assert api.target_for("video").tref_s == pytest.approx(1.0 / 30.0)
+        assert len(api.registration_history) == 2
+
+    def test_unregister(self):
+        api = RuntimeManagerAPI()
+        api.register("video", 24.0)
+        api.unregister("video")
+        assert api.num_applications == 0
+        api.unregister("never-registered")  # silently ignored
+
+    def test_unknown_application_raises(self):
+        api = RuntimeManagerAPI()
+        with pytest.raises(ConfigurationError):
+            api.target_for("ghost")
+
+    def test_effective_requirement_without_targets_raises(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeManagerAPI().effective_requirement()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeManagerAPI().register("", 25.0)

@@ -1,0 +1,78 @@
+"""Unit tests for frame-trace serialisation and statistics."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.fft import fft_application
+from repro.workload.trace import FrameTrace
+from repro.workload.video import mpeg4_application
+
+
+@pytest.fixture
+def trace() -> FrameTrace:
+    return FrameTrace.from_application(mpeg4_application(num_frames=40, seed=2))
+
+
+class TestFrameTrace:
+    def test_round_trip_to_application(self, trace):
+        rebuilt = trace.to_application()
+        assert rebuilt.num_frames == 40
+        assert rebuilt.reference_time_s == pytest.approx(trace.reference_time_s)
+        assert [f.total_cycles for f in rebuilt] == [f.total_cycles for f in trace.frames]
+
+    def test_summary_statistics(self, trace):
+        summary = trace.summary()
+        assert summary.num_frames == 40
+        assert summary.num_threads == 4
+        assert summary.min_total_cycles <= summary.mean_total_cycles <= summary.max_total_cycles
+        assert summary.coefficient_of_variation >= 0.0
+
+    def test_csv_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = FrameTrace.from_csv(
+            path,
+            application_name=trace.application_name,
+            frames_per_second=trace.frames_per_second,
+            reference_time_s=trace.reference_time_s,
+        )
+        assert len(loaded) == len(trace)
+        original = [f.thread_cycles for f in trace.frames]
+        restored = [f.thread_cycles for f in loaded.frames]
+        for a, b in zip(original, restored):
+            assert a == pytest.approx(b)
+        assert [f.kind for f in loaded.frames] == [f.kind for f in trace.frames]
+
+    def test_json_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        trace.to_json(path)
+        loaded = FrameTrace.from_json(path)
+        assert loaded.application_name == trace.application_name
+        assert loaded.frames_per_second == pytest.approx(trace.frames_per_second)
+        assert [f.total_cycles for f in loaded.frames] == pytest.approx(
+            [f.total_cycles for f in trace.frames]
+        )
+
+    def test_json_missing_field_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"application_name": "x", "frames": []}')
+        with pytest.raises((WorkloadError, KeyError)):
+            FrameTrace.from_json(path)
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(WorkloadError):
+            FrameTrace.from_csv(path, "x", 25.0, 0.04)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            FrameTrace("empty", [], 25.0, 0.04)
+
+    def test_fft_trace_summary_matches_generator_statistics(self):
+        application = fft_application(num_frames=200, seed=1)
+        summary = FrameTrace.from_application(application).summary()
+        assert summary.mean_total_cycles == pytest.approx(application.mean_frame_cycles)
+        assert summary.coefficient_of_variation == pytest.approx(
+            application.workload_variability(), rel=1e-6
+        )

@@ -1,0 +1,165 @@
+"""Unit tests for the stochastic workload models (video, FFT, PARSEC, SPLASH-2)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.platform.odroid_xu3 import A15_VF_TABLE
+from repro.workload.fft import FFTWorkloadModel, fft_application
+from repro.workload.generators import PhaseSpec, PhasedWorkloadGenerator
+from repro.workload.parsec import PARSEC_BENCHMARKS, parsec_application
+from repro.workload.splash2 import SPLASH2_BENCHMARKS, splash2_application
+from repro.workload.video import (
+    VideoWorkloadModel,
+    h264_application,
+    h264_football_application,
+    mpeg4_application,
+)
+
+
+class TestVideoModel:
+    def test_generation_is_reproducible(self):
+        first = mpeg4_application(num_frames=50, seed=9)
+        second = mpeg4_application(num_frames=50, seed=9)
+        assert [f.total_cycles for f in first] == [f.total_cycles for f in second]
+
+    def test_different_seeds_differ(self):
+        first = mpeg4_application(num_frames=50, seed=1)
+        second = mpeg4_application(num_frames=50, seed=2)
+        assert [f.total_cycles for f in first] != [f.total_cycles for f in second]
+
+    def test_gop_structure_tags_frames(self):
+        application = h264_application(num_frames=24)
+        kinds = [frame.kind for frame in application]
+        assert kinds[0] in {"I", "P", "B"}
+        assert set(kinds) <= {"I", "P", "B"}
+        assert "I" in kinds
+
+    def test_mean_demand_close_to_requested(self):
+        target = 8.0e7
+        application = h264_football_application(num_frames=800, mean_frame_cycles=target)
+        assert application.mean_frame_cycles == pytest.approx(target, rel=0.15)
+
+    def test_football_fits_platform_capacity(self):
+        """The heaviest frame must be decodable at 2 GHz within the deadline."""
+        application = h264_football_application(num_frames=1000)
+        capacity = A15_VF_TABLE.max_point.frequency_hz * application.reference_time_s
+        assert max(f.max_thread_cycles for f in application) < capacity
+
+    def test_football_more_variable_than_fft(self):
+        football = h264_football_application(num_frames=500)
+        fft = fft_application(num_frames=500)
+        assert football.workload_variability() > 3 * fft.workload_variability()
+
+    def test_deadlines_match_fps(self):
+        application = mpeg4_application(num_frames=10, frames_per_second=24.0)
+        assert all(f.deadline_s == pytest.approx(1.0 / 24.0) for f in application)
+
+    def test_forced_scene_changes_raise_demand(self):
+        base_kwargs = dict(
+            name="video",
+            frames_per_second=25.0,
+            mean_frame_cycles=8e7,
+            jitter_cv=0.0,
+            motion_sigma=0.0,
+            scene_change_probability=0.0,
+            seed=4,
+        )
+        quiet = VideoWorkloadModel(**base_kwargs).generate(60)
+        cut = VideoWorkloadModel(**base_kwargs, forced_scene_change_frames=(30,)).generate(60)
+        assert cut[30].total_cycles > quiet[30].total_cycles
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            VideoWorkloadModel("bad", 25.0, mean_frame_cycles=-1.0)
+        with pytest.raises(WorkloadError):
+            VideoWorkloadModel("bad", 25.0, mean_frame_cycles=1e7, gop_pattern="IXP")
+        with pytest.raises(WorkloadError):
+            VideoWorkloadModel("bad", 25.0, mean_frame_cycles=1e7, scene_change_probability=2.0)
+
+
+class TestFFTModel:
+    def test_low_variability(self):
+        application = fft_application(num_frames=400)
+        assert application.workload_variability() < 0.05
+
+    def test_drift_changes_mean_over_time(self):
+        model = FFTWorkloadModel(
+            name="fft-drift",
+            frames_per_second=32.0,
+            mean_frame_cycles=5e7,
+            jitter_cv=0.0,
+            drift_amplitude=0.2,
+            drift_period_frames=100,
+            seed=1,
+        )
+        application = model.generate(100)
+        first_quarter = sum(f.total_cycles for f in application.frames[:25]) / 25
+        third_quarter = sum(f.total_cycles for f in application.frames[50:75]) / 25
+        assert first_quarter != pytest.approx(third_quarter, rel=0.01)
+
+    def test_even_thread_split_by_default(self):
+        application = fft_application(num_frames=5)
+        frame = application[0]
+        assert max(frame.thread_cycles) == pytest.approx(min(frame.thread_cycles))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            FFTWorkloadModel("bad", 32.0, mean_frame_cycles=0.0)
+        with pytest.raises(WorkloadError):
+            FFTWorkloadModel("bad", 32.0, mean_frame_cycles=1e7, jitter_cv=-0.1)
+
+
+class TestPhasedGenerators:
+    def test_phase_cycling(self):
+        generator = PhasedWorkloadGenerator(
+            name="phased",
+            frames_per_second=25.0,
+            phases=[
+                PhaseSpec("light", length_frames=5, mean_cycles=1e7, cv=0.0),
+                PhaseSpec("heavy", length_frames=5, mean_cycles=5e7, cv=0.0),
+            ],
+            seed=0,
+        )
+        application = generator.generate(20)
+        assert application[0].kind == "light"
+        assert application[7].kind == "heavy"
+        assert application[12].kind == "light"
+        assert application[2].total_cycles < application[7].total_cycles
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec("bad", length_frames=0, mean_cycles=1e7)
+        with pytest.raises(WorkloadError):
+            PhasedWorkloadGenerator("empty", 25.0, phases=[])
+
+    def test_parsec_catalogue(self):
+        assert "bodytrack" in PARSEC_BENCHMARKS
+        application = parsec_application("bodytrack", num_frames=100)
+        assert application.num_frames == 100
+        assert application.name == "parsec-bodytrack"
+        assert application.workload_variability() > 0.0
+
+    def test_splash2_catalogue(self):
+        assert "fft" in SPLASH2_BENCHMARKS
+        application = splash2_application("lu", num_frames=80)
+        assert application.num_frames == 80
+        assert application.name == "splash2-lu"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            parsec_application("doom")
+        with pytest.raises(WorkloadError):
+            splash2_application("quake")
+
+    def test_scale_multiplies_demand(self):
+        base = parsec_application("ferret", num_frames=60, seed=2)
+        scaled = parsec_application("ferret", num_frames=60, seed=2, scale=2.0)
+        assert scaled.mean_frame_cycles == pytest.approx(2 * base.mean_frame_cycles, rel=0.05)
+        with pytest.raises(WorkloadError):
+            parsec_application("ferret", scale=0.0)
+
+    def test_every_catalogued_benchmark_generates(self):
+        for name in PARSEC_BENCHMARKS:
+            assert parsec_application(name, num_frames=30).num_frames == 30
+        for name in SPLASH2_BENCHMARKS:
+            assert splash2_application(name, num_frames=30).num_frames == 30
