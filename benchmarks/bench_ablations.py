@@ -8,31 +8,40 @@ choices of the proposed RTM so a user can see *why* each piece is there:
 * the EWMA smoothing factor γ;
 * the shared Q-table of the many-core formulation vs the single-agent
   formulation.
+
+Each ablation is a campaign over the football sequence with the design
+knob as a governor-spec parameter, run on the settings' backend.
 """
 
 from __future__ import annotations
 
-from repro.analysis.stats import mean
-from repro.rtm import MultiCoreRLGovernor, RLGovernor, RLGovernorConfig
-from repro.workload.video import h264_football_application
+from repro.campaign.spec import CampaignSpec, FactorySpec
 
 
-def _run_governor(settings, factory, seed=19):
-    runner = settings.make_runner()
-    application = h264_football_application(num_frames=settings.num_frames, seed=seed)
-    return runner.run_one(application, factory)
+def _run_ablation(settings, name, governors, seed=19):
+    """Run one application × the ablation's governor grid, keyed by knob value."""
+    campaign = CampaignSpec.from_grid(
+        name,
+        applications=[FactorySpec.of("h264-football", num_frames=settings.num_frames)],
+        governors=governors,
+        cluster=settings.cluster_spec(),
+        seeds=(seed,),
+    )
+    return settings.make_executor().run(campaign).results()
 
 
 def test_ablation_state_levels(benchmark, quick_settings):
     """Energy/miss trade-off as the state discretisation N varies (paper uses 5)."""
 
     def run():
-        outcomes = {}
-        for levels in (3, 5, 8):
-            config = RLGovernorConfig(workload_levels=levels, slack_levels=levels)
-            result = _run_governor(quick_settings, lambda c=config: MultiCoreRLGovernor(c))
-            outcomes[levels] = result
-        return outcomes
+        governors = {
+            str(levels): FactorySpec.of(
+                "proposed", workload_levels=levels, slack_levels=levels
+            )
+            for levels in (3, 5, 8)
+        }
+        results = _run_ablation(quick_settings, "ablation-state-levels", governors)
+        return {int(key): result for key, result in results.items()}
 
     outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -54,12 +63,12 @@ def test_ablation_ewma_gamma(benchmark, quick_settings):
     """Sensitivity of the RTM to the EWMA smoothing factor γ (paper uses 0.6)."""
 
     def run():
-        outcomes = {}
-        for gamma in (0.2, 0.6, 1.0):
-            config = RLGovernorConfig(ewma_gamma=gamma)
-            result = _run_governor(quick_settings, lambda c=config: MultiCoreRLGovernor(c))
-            outcomes[gamma] = result
-        return outcomes
+        governors = {
+            str(gamma): FactorySpec.of("proposed", ewma_gamma=gamma)
+            for gamma in (0.2, 0.6, 1.0)
+        }
+        results = _run_ablation(quick_settings, "ablation-ewma-gamma", governors)
+        return {float(key): result for key, result in results.items()}
 
     outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -77,9 +86,12 @@ def test_ablation_shared_vs_single_table(benchmark, quick_settings):
     """Many-core (shared-table) formulation vs the single-agent formulation."""
 
     def run():
-        shared = _run_governor(quick_settings, MultiCoreRLGovernor)
-        single = _run_governor(quick_settings, RLGovernor)
-        return shared, single
+        governors = {
+            "shared": FactorySpec.of("proposed"),
+            "single": FactorySpec.of("proposed-single"),
+        }
+        results = _run_ablation(quick_settings, "ablation-shared-vs-single", governors)
+        return results["shared"], results["single"]
 
     shared, single = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -103,10 +115,12 @@ def test_ablation_epd_vs_upd_energy(benchmark, quick_settings):
     """EPD-guided exploration should not cost more energy than UPD exploration."""
 
     def run():
-        epd = _run_governor(quick_settings, MultiCoreRLGovernor)
-        upd_config = RLGovernorConfig(use_exponential_exploration=False)
-        upd = _run_governor(quick_settings, lambda: MultiCoreRLGovernor(upd_config))
-        return epd, upd
+        governors = {
+            "epd": FactorySpec.of("proposed"),
+            "upd": FactorySpec.of("proposed", use_exponential_exploration=False),
+        }
+        results = _run_ablation(quick_settings, "ablation-epd-vs-upd", governors)
+        return results["epd"], results["upd"]
 
     epd, upd = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -10,6 +10,7 @@ compared to a frame period.
 
 from __future__ import annotations
 
+from repro.campaign import FactorySpec, ScenarioSpec, run_scenario
 from repro.platform.odroid_xu3 import A15_VF_TABLE, build_a15_cluster
 from repro.platform.power import PowerModel
 from repro.rtm.exploration import ExponentialPolicy
@@ -80,5 +81,19 @@ def test_bench_full_epoch(benchmark):
 
     def run():
         return engine.run(application, governor)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_run_scenario(benchmark):
+    """Campaign-layer overhead: one scenario built from spec, end to end."""
+    scenario = ScenarioSpec(
+        label="bench",
+        application=FactorySpec.of("h264-football", num_frames=64),
+        governor=FactorySpec.of("proposed"),
+    )
+
+    def run():
+        return run_scenario(scenario)
 
     benchmark.pedantic(run, rounds=3, iterations=1)

@@ -5,6 +5,10 @@ experiment drivers in :mod:`repro.experiments`.  The drivers are run at a
 reduced-but-representative scale by default so the whole harness completes
 in a couple of minutes; set the environment variable ``REPRO_FULL_SCALE=1``
 to run at paper scale (~3000-frame sequences, 5 seeds).
+
+The drivers execute their sweeps as campaigns; set
+``REPRO_CAMPAIGN_BACKEND=process`` to fan each sweep out over the machine's
+cores (the numbers are identical on either backend).
 """
 
 from __future__ import annotations

@@ -1,74 +1,67 @@
 #!/usr/bin/env python3
 """Compare every governor in the library across several benchmark workloads.
 
-This example sweeps the full governor zoo (the proposed RTM, the stock Linux
-policies, the learning baselines and the Oracle) over a video decode, an FFT
-and PARSEC/SPLASH-2-like benchmarks, and prints a normalised-energy /
-normalised-performance matrix — a broader version of the paper's Table I.
+This example declares one campaign sweeping the full governor zoo (the
+proposed RTM, the stock Linux policies, the learning baselines and the
+Oracle) over a video decode, an FFT and PARSEC/SPLASH-2-like benchmarks —
+a broader version of the paper's Table I, 32 scenarios in total — and runs
+it on the process-pool backend so the sweep saturates the machine's cores.
+The parallel run is bit-identical to a serial one; pass ``--serial`` to
+check for yourself.
 
-Run with:  python examples/governor_comparison.py
+Run with:  python examples/governor_comparison.py [--serial]
 """
 
-from repro import (
-    build_a15_cluster,
-    fft_application,
-    h264_football_application,
-    parsec_application,
-    splash2_application,
-)
+import sys
+
+from repro import CampaignSpec, FactorySpec, run_campaign
 from repro.analysis import format_table
-from repro.governors import (
-    ConservativeGovernor,
-    MultiCoreDVFSGovernor,
-    OndemandGovernor,
-    PerformanceGovernor,
-    PowersaveGovernor,
-    ShenRLGovernor,
-)
-from repro.rtm import MultiCoreRLGovernor
-from repro.sim import ExperimentRunner
+from repro.sim.comparison import compare_to_oracle
 
 GOVERNORS = {
-    "performance": PerformanceGovernor,
-    "powersave": PowersaveGovernor,
-    "ondemand": OndemandGovernor,
-    "conservative": ConservativeGovernor,
-    "multicore-dvfs [20]": MultiCoreDVFSGovernor,
-    "shen-rl (UPD) [21]": ShenRLGovernor,
-    "proposed RTM": MultiCoreRLGovernor,
+    "performance": FactorySpec.of("performance"),
+    "powersave": FactorySpec.of("powersave"),
+    "ondemand": FactorySpec.of("ondemand"),
+    "conservative": FactorySpec.of("conservative"),
+    "multicore-dvfs [20]": FactorySpec.of("multicore-dvfs"),
+    "shen-rl (UPD) [21]": FactorySpec.of("shen-upd"),
+    "proposed RTM": FactorySpec.of("proposed"),
+    "oracle": FactorySpec.of("oracle"),
 }
 
 WORKLOADS = {
-    "h264-football (25 fps)": lambda: h264_football_application(num_frames=500),
-    "fft (32 fps)": lambda: fft_application(num_frames=500),
-    "parsec-bodytrack": lambda: parsec_application("bodytrack", num_frames=500),
-    "splash2-barnes": lambda: splash2_application("barnes", num_frames=500),
+    "h264-football (25 fps)": FactorySpec.of("h264-football", num_frames=500),
+    "fft (32 fps)": FactorySpec.of("fft", num_frames=500),
+    "parsec-bodytrack": FactorySpec.of("parsec", benchmark="bodytrack", num_frames=500),
+    "splash2-barnes": FactorySpec.of("splash2", benchmark="barnes", num_frames=500),
 }
 
 
 def main() -> None:
-    runner = ExperimentRunner(cluster=build_a15_cluster())
-    for workload_name, build in WORKLOADS.items():
-        application = build()
-        results = runner.run_with_oracle(application, GOVERNORS)
-        oracle = results["oracle"]
-        rows = []
-        for governor_name in GOVERNORS:
-            result = results[governor_name]
-            rows.append(
-                (
-                    governor_name,
-                    f"{result.normalized_energy(oracle):.2f}",
-                    f"{result.normalized_performance:.2f}",
-                    f"{result.deadline_miss_ratio:.1%}",
-                )
+    backend = "serial" if "--serial" in sys.argv[1:] else "process"
+    campaign = CampaignSpec.from_grid(
+        "governor-comparison", applications=WORKLOADS, governors=GOVERNORS
+    )
+    print(f"Running {len(campaign)} scenarios on the {backend!r} backend...")
+    store = run_campaign(campaign, backend=backend)
+
+    for workload_name in WORKLOADS:
+        outcomes = store.select(application_key=workload_name)
+        results = {o.scenario.governor_key: o.result for o in outcomes}
+        rows = [
+            (
+                row.methodology,
+                f"{row.normalized_energy:.2f}",
+                f"{row.normalized_performance:.2f}",
+                f"{row.deadline_miss_ratio:.1%}",
             )
+            for row in compare_to_oracle(results)
+        ]
         print(
             format_table(
                 headers=["Governor", "Norm. energy", "Norm. perf", "Misses"],
                 rows=rows,
-                title=f"Workload: {workload_name} "
-                f"(CV = {application.workload_variability():.2f})",
+                title=f"Workload: {workload_name}",
             )
         )
         print()

@@ -11,17 +11,27 @@ workload layer can interleave two applications' frames onto the cluster.
 This example runs an MPEG-4 decode (24 fps) alongside an FFT stream (32 fps):
 the two workloads are merged frame-by-frame (each epoch carries both
 applications' work, scheduled across the four cores) and the governor must
-satisfy the tighter 32 fps deadline.
+satisfy the tighter 32 fps deadline.  The merged workload is *registered*
+as a custom campaign application factory, which makes it sweepable like any
+built-in — the campaign below compares ondemand against the proposed RTM on
+it, normalised to the Oracle.
 
 Run with:  python examples/multi_application.py
 """
 
-from repro import Application, Frame, PerformanceRequirement, build_a15_cluster
-from repro import fft_application, mpeg4_application
+from repro import (
+    Application,
+    CampaignSpec,
+    FactorySpec,
+    Frame,
+    fft_application,
+    mpeg4_application,
+    register_application,
+    run_campaign,
+)
 from repro.analysis import format_table
-from repro.governors import OndemandGovernor
-from repro.rtm import MultiCoreRLGovernor, RuntimeManagerAPI
-from repro.sim import ExperimentRunner
+from repro.rtm import RuntimeManagerAPI
+from repro.sim.comparison import compare_to_oracle
 
 
 def merge_applications(first: Application, second: Application, name: str) -> Application:
@@ -54,32 +64,43 @@ def merge_applications(first: Application, second: Application, name: str) -> Ap
                        description="merged concurrent applications")
 
 
-def main() -> None:
-    video = mpeg4_application(num_frames=400, frames_per_second=24.0)
-    fft = fft_application(num_frames=400, frames_per_second=32.0, mean_frame_cycles=4.0e7)
-    merged = merge_applications(video, fft, name="mpeg4+fft")
+@register_application("mpeg4+fft")
+def merged_mpeg4_fft(num_frames: int = 400, seed: int = 7) -> Application:
+    """MPEG-4 decode (24 fps) merged with an FFT stream (32 fps)."""
+    video = mpeg4_application(num_frames=num_frames, frames_per_second=24.0, seed=seed)
+    fft = fft_application(
+        num_frames=num_frames, frames_per_second=32.0, mean_frame_cycles=4.0e7, seed=seed
+    )
+    return merge_applications(video, fft, name="mpeg4+fft")
 
-    print(f"Concurrent applications: {video.name} (24 fps) + {fft.name} (32 fps)")
+
+def main() -> None:
+    merged = merged_mpeg4_fft()
+    print("Concurrent applications: mpeg4 (24 fps) + fft (32 fps)")
     print(f"Effective requirement: Tref = {merged.reference_time_s * 1e3:.1f} ms "
           f"(the tighter of the two)")
     print(f"Merged demand: {merged.mean_frame_cycles / 1e6:.1f} Mcycles/frame over "
           f"{merged[0].num_threads} threads")
     print()
 
-    runner = ExperimentRunner(cluster=build_a15_cluster())
-    results = runner.run_with_oracle(
-        merged,
-        {"ondemand": OndemandGovernor, "proposed": MultiCoreRLGovernor},
+    campaign = CampaignSpec.from_grid(
+        "multi-application",
+        applications=[FactorySpec.of("mpeg4+fft", num_frames=400)],
+        governors={
+            "ondemand": FactorySpec.of("ondemand"),
+            "proposed": FactorySpec.of("proposed"),
+            "oracle": FactorySpec.of("oracle"),
+        },
     )
-    oracle = results["oracle"]
+    results = run_campaign(campaign).results()
     rows = [
         (
-            name,
-            f"{results[name].normalized_energy(oracle):.2f}",
-            f"{results[name].normalized_performance:.2f}",
-            f"{results[name].deadline_miss_ratio:.1%}",
+            row.methodology,
+            f"{row.normalized_energy:.2f}",
+            f"{row.normalized_performance:.2f}",
+            f"{row.deadline_miss_ratio:.1%}",
         )
-        for name in ("ondemand", "proposed")
+        for row in compare_to_oracle(results)
     ]
     print(format_table(["Governor", "Norm. energy", "Norm. perf", "Misses"], rows,
                        title="Concurrent MPEG-4 + FFT under the shared A15 cluster"))

@@ -4,17 +4,20 @@
 The paper motivates EWMA prediction (eq. 1) against adaptive-filter
 predictors, which it argues lag on dynamically changing workloads.  This
 example measures all three predictors offline on the library's workload
-models, and then runs the RTM with each EWMA smoothing factor γ to show why
-the paper's experimentally determined γ = 0.6 is a sensible choice.
+models, and then sweeps the RTM over each EWMA smoothing factor γ — a
+one-line campaign grid, since the RL governor factories accept the flat
+config scalars as spec parameters — to show why the paper's experimentally
+determined γ = 0.6 is a sensible choice.
 
 Run with:  python examples/predictor_ablation.py
 """
 
+from repro import CampaignSpec, FactorySpec, run_campaign
 from repro import h264_football_application, mpeg4_application, fft_application
 from repro.analysis import format_table
-from repro.rtm import EWMAPredictor, LastValuePredictor, NLMSPredictor, RLGovernorConfig, MultiCoreRLGovernor
-from repro.sim import ExperimentRunner
-from repro import build_a15_cluster
+from repro.rtm import EWMAPredictor, LastValuePredictor, NLMSPredictor
+
+GAMMAS = (0.2, 0.4, 0.6, 0.8, 1.0)
 
 
 def offline_prediction_error(application, predictor) -> float:
@@ -44,21 +47,26 @@ def main() -> None:
     ))
     print()
 
-    # Sweep the EWMA smoothing factor inside the full RTM loop.
-    runner = ExperimentRunner(cluster=build_a15_cluster())
-    application = mpeg4_application(num_frames=400)
-    sweep_rows = []
-    for gamma in (0.2, 0.4, 0.6, 0.8, 1.0):
-        config = RLGovernorConfig(ewma_gamma=gamma)
-        result = runner.run_one(application, lambda config=config: MultiCoreRLGovernor(config))
-        sweep_rows.append(
-            (
-                f"γ = {gamma:.1f}",
-                f"{result.total_energy_j:.1f} J",
-                f"{result.normalized_performance:.2f}",
-                f"{result.deadline_miss_ratio:.1%}",
-            )
+    # Sweep the EWMA smoothing factor inside the full RTM loop: the γ grid
+    # is part of the governor spec, so the sweep is a single campaign.
+    campaign = CampaignSpec.from_grid(
+        "ewma-gamma-sweep",
+        applications=[FactorySpec.of("mpeg4", num_frames=400)],
+        governors={
+            f"gamma={gamma:.1f}": FactorySpec.of("proposed", ewma_gamma=gamma)
+            for gamma in GAMMAS
+        },
+    )
+    results = run_campaign(campaign).results()
+    sweep_rows = [
+        (
+            f"γ = {gamma:.1f}",
+            f"{results[f'gamma={gamma:.1f}'].total_energy_j:.1f} J",
+            f"{results[f'gamma={gamma:.1f}'].normalized_performance:.2f}",
+            f"{results[f'gamma={gamma:.1f}'].deadline_miss_ratio:.1%}",
         )
+        for gamma in GAMMAS
+    ]
     print(format_table(
         ["EWMA smoothing", "Energy", "Norm. perf", "Misses"],
         sweep_rows,

@@ -3,12 +3,12 @@
 
 This is the smallest end-to-end use of the library's public API:
 
-1. build the simulated ODROID-XU3 A15 cluster,
-2. generate a frame-based H.264 decode workload (the paper's football
-   sequence) with a 25 fps requirement,
-3. run it under the proposed run-time manager and under the Linux ondemand
-   governor,
-4. compare energy, performance and deadline behaviour.
+1. declare the experiment as a campaign — the paper's H.264 football
+   sequence under the proposed run-time manager, the Linux ondemand
+   governor and the offline Oracle,
+2. run it with a single executor call (swap ``backend="serial"`` for
+   ``backend="process"`` to fan the runs out over your cores),
+3. compare energy, performance and deadline behaviour.
 
 The learning governor pays an exploration cost over the first ~100 frames,
 so its advantage shows on sequences long enough to amortise it (the paper's
@@ -17,35 +17,29 @@ football clip is ~3000 frames).
 Run with:  python examples/quickstart.py
 """
 
-from repro import build_a15_cluster, h264_football_application
-from repro.governors import OndemandGovernor, OracleGovernor
-from repro.rtm import MultiCoreRLGovernor
-from repro.sim import ExperimentRunner
+from repro import CampaignSpec, FactorySpec, run_campaign
 from repro.analysis import format_table
 
 
 def main() -> None:
-    # The application layer: a periodic H.264 decode with a 25 fps deadline.
-    application = h264_football_application(num_frames=1200)
-    print(
-        f"Workload: {application.name}, {application.num_frames} frames, "
-        f"Tref = {application.reference_time_s * 1e3:.1f} ms, "
-        f"mean demand = {application.mean_frame_cycles / 1e6:.1f} Mcycles/frame"
-    )
-
-    # The hardware layer: the XU3's A15 cluster (4 cores, 19 operating points).
-    runner = ExperimentRunner(cluster=build_a15_cluster())
-
-    # The run-time layer: the proposed RL governor vs the stock ondemand
-    # policy, both normalised against the offline Oracle.
-    results = runner.run_with_oracle(
-        application,
-        {
-            "ondemand": OndemandGovernor,
-            "proposed": MultiCoreRLGovernor,
+    # The whole experiment is data: one application spec x three governors.
+    campaign = CampaignSpec.from_grid(
+        "quickstart",
+        applications=[FactorySpec.of("h264-football", num_frames=1200)],
+        governors={
+            "ondemand": FactorySpec.of("ondemand"),
+            "proposed": FactorySpec.of("proposed"),
+            "oracle": FactorySpec.of("oracle"),
         },
     )
+    results = run_campaign(campaign, backend="serial").results()
     oracle = results["oracle"]
+
+    sample = results["proposed"]
+    print(
+        f"Workload: {sample.application_name}, {sample.num_frames} frames, "
+        f"Tref = {sample.reference_time_s * 1e3:.1f} ms"
+    )
 
     rows = []
     for name in ("ondemand", "proposed", "oracle"):

@@ -12,13 +12,17 @@ looks inside a single run of the proposed RTM on the football sequence:
 * where deadline misses (dropped frames) occur,
 * how the learnt Q-table's greedy policy looks per state.
 
+The run is a one-scenario campaign with the ``rl-policy`` probe attached:
+the probe captures the learnt greedy policy inside the worker, so the same
+script works unchanged on the process backend (where the governor object
+never crosses back into this process).
+
 Run with:  python examples/video_decode_deadlines.py
 """
 
-from repro import build_a15_cluster, h264_football_application
+from repro import CampaignSpec, FactorySpec, ScenarioSpec, run_campaign
 from repro.analysis import format_table, windowed_mean
-from repro.rtm import MultiCoreRLGovernor
-from repro.sim import SimulationEngine, frequency_histogram
+from repro.sim import frequency_histogram
 
 
 def sparkline(values, buckets=60, symbols=" .:-=+*#%@"):
@@ -33,12 +37,18 @@ def sparkline(values, buckets=60, symbols=" .:-=+*#%@"):
 
 
 def main() -> None:
-    application = h264_football_application(num_frames=1000)
-    governor = MultiCoreRLGovernor()
-    engine = SimulationEngine(build_a15_cluster())
-    result = engine.run(application, governor)
+    scenario = ScenarioSpec(
+        label="football",
+        application=FactorySpec.of("h264-football", num_frames=1000),
+        governor=FactorySpec.of("proposed"),
+        probe=FactorySpec.of("rl-policy"),
+    )
+    campaign = CampaignSpec(name="video-decode-deadlines", scenarios=(scenario,))
+    outcome = run_campaign(campaign).outcome("football")
+    result = outcome.result
 
-    print(f"Application: {application.name}, Tref = {application.reference_time_s * 1e3:.0f} ms")
+    print(f"Application: {result.application_name}, "
+          f"Tref = {result.reference_time_s * 1e3:.0f} ms")
     print(f"Exploration phase: {result.exploration_count} frames; "
           f"policy converged at epoch {result.converged_epoch}")
     print(f"Total energy: {result.total_energy_j:.1f} J, "
@@ -64,19 +74,15 @@ def main() -> None:
                        title="Frequency residency"))
     print()
 
-    # Inspect the learnt policy: greedy operating point per (workload, slack) state.
-    agent = governor.agent
-    table = agent.qtable
-    state_space = governor.state_space
-    policy_rows = []
-    for state in range(table.num_states):
-        workload_level, slack_level = state_space.decompose(state)
-        if table.visit_count(state, table.best_action(state)) == 0:
-            continue
-        point = engine.cluster.vf_table[table.best_action(state)]
-        policy_rows.append(
-            (f"workload L{workload_level}", f"slack L{slack_level}", f"{point.frequency_mhz:.0f} MHz")
+    # Inspect the learnt policy the probe captured inside the worker.
+    policy_rows = [
+        (
+            f"workload L{entry['workload_level']}",
+            f"slack L{entry['slack_level']}",
+            f"{entry['frequency_mhz']:.0f} MHz",
         )
+        for entry in (outcome.probe or {}).get("greedy_policy", [])
+    ]
     print(format_table(["Workload level", "Slack level", "Greedy V-F"], policy_rows,
                        title="Learnt greedy policy (visited states)"))
 

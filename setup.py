@@ -1,11 +1,28 @@
-"""Setuptools shim.
+"""Package metadata and console entry points.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-environments without the ``wheel`` package (where PEP 660 editable installs
-are unavailable) can still do a legacy editable install via
-``pip install -e . --no-use-pep517 --no-build-isolation``.
+Install in editable mode with ``pip install -e .`` (or, in environments
+without the ``wheel`` package where PEP 660 editable installs are
+unavailable, ``pip install -e . --no-use-pep517 --no-build-isolation``).
+
+The ``repro-campaign`` console script runs a campaign spec from JSON on
+either execution backend — see :mod:`repro.campaign.cli`.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-biswas-date17",
+    version="0.1.0",
+    description=(
+        "Reproduction of Biswas et al., 'Machine Learning for Run-Time Energy "
+        "Optimisation in Many-Core Systems' (DATE 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro-campaign=repro.campaign.cli:main",
+        ]
+    },
+)

@@ -70,6 +70,19 @@ from repro.governors import (
     PowersaveGovernor,
 )
 from repro.sim import SimulationEngine, SimulationConfig, ExperimentRunner
+from repro.campaign import (
+    CampaignSpec,
+    ScenarioSpec,
+    FactorySpec,
+    CampaignResult,
+    ScenarioOutcome,
+    CampaignExecutor,
+    run_campaign,
+    register_application,
+    register_governor,
+    register_cluster,
+    register_probe,
+)
 
 __all__ = [
     "__version__",
@@ -111,4 +124,15 @@ __all__ = [
     "SimulationEngine",
     "SimulationConfig",
     "ExperimentRunner",
+    "CampaignSpec",
+    "ScenarioSpec",
+    "FactorySpec",
+    "CampaignResult",
+    "ScenarioOutcome",
+    "CampaignExecutor",
+    "run_campaign",
+    "register_application",
+    "register_governor",
+    "register_cluster",
+    "register_probe",
 ]

@@ -1,0 +1,81 @@
+"""Campaign subsystem: declarative scenario specs and batch execution.
+
+The paper's evaluation is a grid of application × governor × platform
+runs.  This subpackage turns every such sweep into data plus one executor
+call:
+
+* :mod:`repro.campaign.spec` — hashable, JSON-serialisable
+  :class:`ScenarioSpec` / :class:`CampaignSpec` with grid expansion;
+* :mod:`repro.campaign.registry` — the name -> factory registries that
+  resolve spec component names (extensible via ``register_*``);
+* :mod:`repro.campaign.executor` — :class:`CampaignExecutor` with serial
+  and process-pool backends, deterministic result ordering, and
+  resume-by-skipping-completed-scenarios;
+* :mod:`repro.campaign.results` — the :class:`CampaignResult` store with
+  JSON round-trip persistence, feeding the existing
+  :func:`~repro.sim.comparison.compare_to_oracle` analysis unchanged;
+* :mod:`repro.campaign.cli` — the ``repro-campaign`` console entry point.
+
+Quickstart
+----------
+>>> from repro.campaign import CampaignSpec, FactorySpec, run_campaign
+>>> campaign = CampaignSpec.from_grid(
+...     "demo",
+...     applications=[FactorySpec.of("mpeg4", num_frames=120)],
+...     governors=[FactorySpec.of("ondemand"), FactorySpec.of("oracle")],
+... )
+>>> store = run_campaign(campaign, backend="serial")
+>>> sorted(store.results())
+['ondemand', 'oracle']
+"""
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    DEFAULT_CLUSTER,
+    FactorySpec,
+    ScenarioSpec,
+)
+from repro.campaign.registry import (
+    application_factory,
+    cluster_factory,
+    governor_factory,
+    probe_factory,
+    register_application,
+    register_cluster,
+    register_governor,
+    register_probe,
+    registered_names,
+)
+from repro.campaign.results import CampaignResult, ScenarioOutcome
+from repro.campaign.executor import (
+    BACKENDS,
+    CampaignExecutor,
+    ProcessPoolBackend,
+    SerialBackend,
+    run_campaign,
+    run_scenario,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "ScenarioSpec",
+    "FactorySpec",
+    "DEFAULT_CLUSTER",
+    "CampaignResult",
+    "ScenarioOutcome",
+    "CampaignExecutor",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "BACKENDS",
+    "run_campaign",
+    "run_scenario",
+    "register_application",
+    "register_governor",
+    "register_cluster",
+    "register_probe",
+    "application_factory",
+    "governor_factory",
+    "cluster_factory",
+    "probe_factory",
+    "registered_names",
+]

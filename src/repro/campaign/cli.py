@@ -1,0 +1,126 @@
+"""``repro-campaign`` — run a campaign spec from JSON on any backend.
+
+Usage::
+
+    repro-campaign spec.json --backend process --workers 4 --output results.json
+    repro-campaign spec.json --resume results.json --output results.json
+    repro-campaign --list
+
+The spec file is a :class:`~repro.campaign.spec.CampaignSpec` JSON document
+(``CampaignSpec.save`` writes one).  With ``--resume``, scenarios already
+present in the given results file are skipped; with ``--output``, the full
+result store is written back as JSON for later analysis or further resume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.campaign.executor import BACKENDS, CampaignExecutor
+from repro.errors import ConfigurationError
+from repro.campaign.registry import registered_names
+from repro.campaign.results import CampaignResult
+from repro.campaign.spec import CampaignSpec
+
+
+def _print_registries() -> None:
+    for kind, names in registered_names().items():
+        print(f"{kind}:")
+        for name in names:
+            print(f"  {name}")
+
+
+def _summarise(store: CampaignResult) -> str:
+    lines = [f"campaign {store.campaign_name!r}: {len(store)} scenarios"]
+    for outcome in store:
+        result = outcome.result
+        lines.append(
+            f"  {outcome.label:32s} energy={result.total_energy_j:9.2f} J  "
+            f"perf={result.normalized_performance:5.2f}  "
+            f"miss={result.deadline_miss_ratio:6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-campaign", description=__doc__)
+    parser.add_argument("spec", nargs="?", help="path to a CampaignSpec JSON file")
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial", help="execution backend"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker count for the process backend"
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the campaign results to this JSON file"
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        help="results JSON file whose completed scenarios are skipped",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered factories and exit"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-scenario progress lines"
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.list:
+        _print_registries()
+        return 0
+    if not arguments.spec:
+        parser.error("a campaign spec file is required (or use --list)")
+
+    #: Everything spec parsing/validation can raise: I/O and JSON errors,
+    #: missing keys, CampaignSpec/ScenarioSpec validation, unexpected fields.
+    load_errors = (OSError, ValueError, KeyError, TypeError, ConfigurationError)
+    try:
+        campaign = CampaignSpec.load(arguments.spec)
+    except load_errors as exc:
+        print(f"repro-campaign: cannot load campaign spec {arguments.spec!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        resume = CampaignResult.load(arguments.resume) if arguments.resume else None
+    except load_errors as exc:
+        print(f"repro-campaign: cannot load resume file {arguments.resume!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        executor = CampaignExecutor(backend=arguments.backend, max_workers=arguments.workers)
+    except ConfigurationError as exc:
+        print(f"repro-campaign: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(label: str, done: int, total: int) -> None:
+        if not arguments.quiet:
+            print(f"[{done}/{total}] {label}", file=sys.stderr)
+
+    started = time.perf_counter()
+    try:
+        store = executor.run(campaign, resume=resume, progress=progress)
+    except ConfigurationError as exc:
+        # Typically an unregistered application/governor/probe name in the
+        # spec (possibly re-raised from a pool worker).
+        print(f"repro-campaign: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    # Persist before printing: a broken stdout pipe (e.g. `| head`) must not
+    # lose the results of a long campaign.
+    if arguments.output:
+        store.save(arguments.output)
+    print(_summarise(store))
+    print(f"completed in {elapsed:.1f} s on the {arguments.backend!r} backend")
+    if arguments.output:
+        print(f"results written to {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Campaign execution: serial and process-pool backends.
+
+The unit of work is :func:`run_scenario` — a module-level function so the
+process-pool backend can pickle it.  Each invocation builds its *own*
+cluster from the scenario spec: clusters are stateful (meters, PMU, thermal
+and DVFS history) and must never be shared between concurrent runs.
+
+Both backends return outcomes in campaign order — the process pool maps
+scenarios with order-preserving :meth:`~concurrent.futures.Executor.map` —
+and every scenario is fully determined by its spec (workload seed, governor
+config seed, cluster seed), so a parallel run is bit-identical to a serial
+run of the same campaign.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.campaign import registry
+from repro.campaign.results import CampaignResult, ScenarioOutcome
+from repro.campaign.spec import CampaignSpec, ScenarioSpec
+from repro.sim.engine import SimulationEngine
+
+#: Optional per-scenario completion callback (label, index, total).
+ProgressCallback = Callable[[str, int, int], None]
+
+
+def run_scenario(scenario: ScenarioSpec) -> ScenarioOutcome:
+    """Execute one scenario from scratch and return its outcome.
+
+    Builds a fresh cluster, application and governor from the scenario's
+    named factories, runs the closed-loop simulation, then applies the
+    scenario's probe (if any) while the governor is still live.
+    """
+    cluster = registry.cluster_factory(scenario.cluster.name)(**scenario.cluster.kwargs)
+    app_kwargs = dict(scenario.application.kwargs)
+    if scenario.seed is not None:
+        app_kwargs["seed"] = scenario.seed
+    application = registry.application_factory(scenario.application.name)(**app_kwargs)
+    governor = registry.governor_factory(scenario.governor.name)(**scenario.governor.kwargs)
+
+    engine = SimulationEngine(cluster, scenario.config)
+    result = engine.run(application, governor)
+
+    probe_data = None
+    if scenario.probe is not None:
+        probe = registry.probe_factory(scenario.probe.name)
+        probe_data = probe(governor, result, **scenario.probe.kwargs)
+    return ScenarioOutcome(scenario=scenario, result=result, probe=probe_data)
+
+
+class SerialBackend:
+    """Runs scenarios one after another in the calling process."""
+
+    name = "serial"
+
+    def map(self, scenarios: Sequence[ScenarioSpec]) -> Iterable[ScenarioOutcome]:
+        for scenario in scenarios:
+            yield run_scenario(scenario)
+
+
+class ProcessPoolBackend:
+    """Runs scenarios concurrently on a :class:`ProcessPoolExecutor`.
+
+    ``max_workers`` defaults to the machine's CPU count capped by the
+    number of scenarios.  Results are yielded in submission order
+    regardless of completion order, so output is identical to the serial
+    backend.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be a positive integer")
+        self.max_workers = max_workers
+
+    def map(self, scenarios: Sequence[ScenarioSpec]) -> Iterable[ScenarioOutcome]:
+        if not scenarios:
+            return
+        workers = self.max_workers or min(len(scenarios), os.cpu_count() or 1)
+        workers = min(workers, len(scenarios))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for outcome in pool.map(run_scenario, scenarios):
+                yield outcome
+
+
+#: Backend registry used by :class:`CampaignExecutor` and the CLI.
+BACKENDS = ("serial", "process")
+
+
+def make_backend(backend: str, max_workers: Optional[int] = None):
+    """Build a backend by name (``"serial"`` or ``"process"``)."""
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "process":
+        return ProcessPoolBackend(max_workers=max_workers)
+    raise ConfigurationError(f"unknown campaign backend {backend!r}; expected one of {BACKENDS}")
+
+
+class CampaignExecutor:
+    """Runs campaigns on a pluggable backend with resume support."""
+
+    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None) -> None:
+        self.backend = make_backend(backend, max_workers)
+
+    def run(
+        self,
+        campaign: CampaignSpec,
+        resume: Optional[CampaignResult] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        """Execute every scenario of ``campaign`` not already in ``resume``.
+
+        Parameters
+        ----------
+        campaign:
+            The campaign to run.
+        resume:
+            A previously saved (possibly partial) result store; scenarios
+            whose id it already contains are skipped and their stored
+            outcomes carried over.
+        progress:
+            Optional callback invoked after each newly executed scenario
+            with ``(label, completed_count, total_pending)``.
+
+        Returns
+        -------
+        CampaignResult
+            A store with one outcome per campaign scenario, in the
+            campaign's scenario order.
+        """
+        store = CampaignResult(campaign_name=campaign.name)
+        if resume is not None:
+            for outcome in resume:
+                store.add(outcome)
+        pending: List[ScenarioSpec] = store.pending(campaign)
+        for index, outcome in enumerate(self.backend.map(pending)):
+            store.add(outcome)
+            if progress is not None:
+                progress(outcome.label, index + 1, len(pending))
+        return store.ordered_for(campaign)
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    resume: Optional[CampaignResult] = None,
+) -> CampaignResult:
+    """One-call convenience wrapper around :class:`CampaignExecutor`."""
+    return CampaignExecutor(backend=backend, max_workers=max_workers).run(
+        campaign, resume=resume
+    )

@@ -1,0 +1,178 @@
+"""Campaign result store: ordered scenario outcomes with persistence.
+
+A :class:`CampaignResult` aggregates one :class:`ScenarioOutcome` per
+completed scenario, keyed by the scenario's content hash.  It round-trips
+through JSON so long campaigns can checkpoint to disk and *resume*: the
+executor skips any scenario whose id is already present in the store it
+was handed.
+
+The store feeds the existing analysis layer unchanged —
+:meth:`CampaignResult.results` returns the plain ``label ->
+SimulationResult`` mapping that :func:`repro.sim.comparison.compare_to_oracle`
+and the Table-I normalisation consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.campaign.spec import CampaignSpec, ScenarioSpec
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One completed scenario: its spec, its simulation result, its probe data."""
+
+    scenario: ScenarioSpec
+    result: SimulationResult
+    probe: Optional[Dict[str, Any]] = None
+
+    @property
+    def scenario_id(self) -> str:
+        """Content hash of the scenario that produced this outcome."""
+        return self.scenario.scenario_id
+
+    @property
+    def label(self) -> str:
+        """The scenario's campaign label."""
+        return self.scenario.label
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "scenario": self.scenario.to_dict(),
+            "result": self.result.to_dict(),
+        }
+        if self.probe is not None:
+            data["probe"] = self.probe
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioOutcome":
+        return cls(
+            scenario=ScenarioSpec.from_dict(data["scenario"]),
+            result=SimulationResult.from_dict(data["result"]),
+            probe=data.get("probe"),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Ordered store of scenario outcomes for one campaign."""
+
+    campaign_name: str
+    outcomes: Dict[str, ScenarioOutcome] = field(default_factory=dict)
+
+    # -- building -----------------------------------------------------------------
+    def add(self, outcome: ScenarioOutcome) -> None:
+        """Record a completed scenario (replacing any previous run of it)."""
+        self.outcomes[outcome.scenario_id] = outcome
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[ScenarioOutcome]:
+        return iter(self.outcomes.values())
+
+    def __contains__(self, scenario: ScenarioSpec) -> bool:
+        return scenario.scenario_id in self.outcomes
+
+    # -- lookup -------------------------------------------------------------------
+    def outcome(self, label: str) -> ScenarioOutcome:
+        """The outcome of the scenario labelled ``label``."""
+        for candidate in self.outcomes.values():
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"campaign {self.campaign_name!r} has no outcome labelled {label!r}")
+
+    def result(self, label: str) -> SimulationResult:
+        """The simulation result of the scenario labelled ``label``."""
+        return self.outcome(label).result
+
+    def results(self) -> Dict[str, SimulationResult]:
+        """``label -> SimulationResult`` in campaign order.
+
+        This is the mapping the pre-campaign analysis helpers
+        (:func:`~repro.sim.comparison.compare_to_oracle`,
+        :func:`~repro.sim.comparison.pairwise_energy_saving`) consume.
+        """
+        return {outcome.label: outcome.result for outcome in self.outcomes.values()}
+
+    def select(
+        self,
+        application_key: Optional[str] = None,
+        governor_key: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> List[ScenarioOutcome]:
+        """Outcomes matching the given grid coordinates (``None`` = any)."""
+        matches = []
+        for outcome in self.outcomes.values():
+            spec = outcome.scenario
+            if application_key is not None and spec.application_key != application_key:
+                continue
+            if governor_key is not None and spec.governor_key != governor_key:
+                continue
+            if seed is not None and spec.seed != seed:
+                continue
+            matches.append(outcome)
+        return matches
+
+    # -- resume support -----------------------------------------------------------
+    def pending(self, campaign: CampaignSpec) -> List[ScenarioSpec]:
+        """Scenarios of ``campaign`` that have no stored outcome yet."""
+        return [scenario for scenario in campaign.scenarios if scenario not in self]
+
+    def ordered_for(self, campaign: CampaignSpec) -> "CampaignResult":
+        """A copy whose outcomes follow ``campaign``'s scenario order.
+
+        Raises
+        ------
+        SimulationError
+            If any scenario of the campaign has no stored outcome.
+        """
+        ordered = CampaignResult(campaign_name=campaign.name)
+        for scenario in campaign.scenarios:
+            outcome = self.outcomes.get(scenario.scenario_id)
+            if outcome is None:
+                raise SimulationError(
+                    f"campaign {campaign.name!r} has no outcome for scenario "
+                    f"{scenario.label!r} (id {scenario.scenario_id})"
+                )
+            ordered.add(outcome)
+        return ordered
+
+    # -- persistence --------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign_name": self.campaign_name,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignResult":
+        store = cls(campaign_name=data["campaign_name"])
+        for item in data.get("outcomes", []):
+            store.add(ScenarioOutcome.from_dict(item))
+        return store
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignResult":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def __repr__(self) -> str:
+        return f"CampaignResult({self.campaign_name!r}, {len(self)} outcomes)"

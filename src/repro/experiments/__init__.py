@@ -1,29 +1,56 @@
 """Experiment drivers: one module per table/figure of the paper's evaluation.
 
-Each driver builds the workload and governors the paper used, runs them on
-the simulated A15 cluster, and returns structured rows mirroring the paper's
-table; each also provides a ``format_*`` helper that renders the rows as an
-ASCII table for side-by-side comparison with the paper.
+Each driver declares its sweep as a :class:`~repro.campaign.spec.CampaignSpec`
+(the ``build_*_campaign`` helpers) and executes it through the campaign
+executor configured on :class:`ExperimentSettings`, then aggregates the
+outcomes into structured rows mirroring the paper's table; each also
+provides a ``format_*`` helper that renders the rows as an ASCII table for
+side-by-side comparison with the paper.
 """
 
-from repro.experiments.common import ExperimentSettings
-from repro.experiments.table1 import Table1Result, run_table1, format_table1
-from repro.experiments.table2 import Table2Row, run_table2, format_table2
-from repro.experiments.table3 import Table3Result, run_table3, format_table3
-from repro.experiments.figure3 import Figure3Result, run_figure3, format_figure3
+from repro.experiments.common import ExperimentSettings, default_backend
+from repro.experiments.table1 import (
+    Table1Result,
+    build_table1_campaign,
+    format_table1,
+    run_table1,
+)
+from repro.experiments.table2 import (
+    Table2Row,
+    build_table2_campaign,
+    format_table2,
+    run_table2,
+)
+from repro.experiments.table3 import (
+    Table3Result,
+    build_table3_campaign,
+    format_table3,
+    run_table3,
+)
+from repro.experiments.figure3 import (
+    Figure3Result,
+    build_figure3_campaign,
+    format_figure3,
+    run_figure3,
+)
 
 __all__ = [
     "ExperimentSettings",
+    "default_backend",
     "Table1Result",
+    "build_table1_campaign",
     "run_table1",
     "format_table1",
     "Table2Row",
+    "build_table2_campaign",
     "run_table2",
     "format_table2",
     "Table3Result",
+    "build_table3_campaign",
     "run_table3",
     "format_table3",
     "Figure3Result",
+    "build_figure3_campaign",
     "run_figure3",
     "format_figure3",
 ]

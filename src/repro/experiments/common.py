@@ -1,12 +1,28 @@
-"""Shared settings and helpers for the experiment drivers."""
+"""Shared settings and helpers for the experiment drivers.
+
+Every driver describes its sweep as a :class:`~repro.campaign.spec.CampaignSpec`
+and executes it through the :class:`~repro.campaign.executor.CampaignExecutor`
+built by :meth:`ExperimentSettings.make_executor`, so switching an entire
+reproduction from serial to multi-process execution is a single settings
+change (or the ``REPRO_CAMPAIGN_BACKEND`` environment variable).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.campaign.executor import CampaignExecutor
+from repro.campaign.spec import FactorySpec
 from repro.platform.cluster import Cluster
 from repro.platform.odroid_xu3 import build_a15_cluster
 from repro.sim.runner import ExperimentRunner
+
+
+def default_backend() -> str:
+    """Campaign backend selected by ``REPRO_CAMPAIGN_BACKEND`` (default serial)."""
+    return os.environ.get("REPRO_CAMPAIGN_BACKEND", "serial")
 
 
 @dataclass(frozen=True)
@@ -24,14 +40,30 @@ class ExperimentSettings:
         average (Table II, Table III).
     num_cores:
         Number of A15 cores simulated (the paper uses all four).
+    backend:
+        Campaign execution backend (``"serial"`` or ``"process"``); the
+        default follows ``REPRO_CAMPAIGN_BACKEND``.  Both backends produce
+        identical results — the process pool only changes wall-clock time.
+    max_workers:
+        Worker count for the process backend (``None`` = CPU count).
     """
 
     num_frames: int = 600
     num_seeds: int = 3
     num_cores: int = 4
+    backend: str = field(default_factory=default_backend)
+    max_workers: Optional[int] = None
+
+    def make_executor(self) -> CampaignExecutor:
+        """Build the campaign executor every driver runs its sweep on."""
+        return CampaignExecutor(backend=self.backend, max_workers=self.max_workers)
+
+    def cluster_spec(self) -> FactorySpec:
+        """Declarative spec of the A15 cluster used by every experiment."""
+        return FactorySpec.of("a15", num_cores=self.num_cores)
 
     def make_runner(self) -> ExperimentRunner:
-        """Build a fresh A15-cluster experiment runner."""
+        """Build a fresh A15-cluster experiment runner (single-run API)."""
         return ExperimentRunner(cluster=self.make_cluster())
 
     def make_cluster(self) -> Cluster:

@@ -20,12 +20,9 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.reporting import format_table
+from repro.campaign.spec import CampaignSpec, FactorySpec, ScenarioSpec
 from repro.experiments.common import PAPER_FIGURE3, ExperimentSettings
-from repro.rtm.multicore import MultiCoreRLGovernor
-from repro.rtm.prediction import PredictionRecord
-from repro.sim.engine import SimulationEngine
 from repro.sim.results import SimulationResult
-from repro.workload.video import mpeg4_application
 
 #: The paper's analysis window: "the first 100 frames".
 EARLY_WINDOW_FRAMES = 100
@@ -52,38 +49,49 @@ class Figure3Result:
         return len(self.actual_cycles)
 
 
+def build_figure3_campaign(
+    settings: ExperimentSettings = ExperimentSettings(),
+    seed: int = 7,
+    frames_per_second: float = 24.0,
+) -> CampaignSpec:
+    """The Fig. 3 run as a one-scenario campaign with the prediction probe.
+
+    The figure tracks the workload of the cluster's critical path, which in
+    the many-core formulation is predicted per core; core 0 carries the
+    dominant decode thread, so its predictor is the one the probe extracts.
+    """
+    num_frames = max(300, min(settings.num_frames, 600))
+    scenario = ScenarioSpec(
+        label="figure3",
+        application=FactorySpec.of(
+            "mpeg4", num_frames=num_frames, frames_per_second=frames_per_second
+        ),
+        governor=FactorySpec.of("proposed"),
+        cluster=settings.cluster_spec(),
+        seed=seed,
+        probe=FactorySpec.of("rl-prediction", core=0, early_window=EARLY_WINDOW_FRAMES),
+    )
+    return CampaignSpec(name="figure3", scenarios=(scenario,))
+
+
 def run_figure3(
     settings: ExperimentSettings = ExperimentSettings(),
     seed: int = 7,
     frames_per_second: float = 24.0,
 ) -> Figure3Result:
     """Run the Fig. 3 misprediction analysis on the MPEG-4 decode workload."""
-    num_frames = max(300, min(settings.num_frames, 600))
-    application = mpeg4_application(
-        num_frames=num_frames, frames_per_second=frames_per_second, seed=seed
-    )
-    governor = MultiCoreRLGovernor()
-    engine = SimulationEngine(settings.make_cluster())
-    simulation = engine.run(application, governor)
-
-    # The figure tracks the workload of the cluster's critical path, which in
-    # the many-core formulation is predicted per core; core 0 carries the
-    # dominant decode thread, so its predictor is the one the figure shows.
-    records: List[PredictionRecord] = governor.core_predictors[0].records
-    predicted = [r.predicted for r in records]
-    actual = [r.actual for r in records]
-
-    early = governor.core_predictors[0].misprediction_stats(0, EARLY_WINDOW_FRAMES)
-    late = governor.core_predictors[0].misprediction_stats(EARLY_WINDOW_FRAMES, None)
+    campaign = build_figure3_campaign(settings, seed, frames_per_second)
+    outcome = settings.make_executor().run(campaign).outcome("figure3")
+    probe = outcome.probe or {}
     return Figure3Result(
-        predicted_cycles=predicted,
-        actual_cycles=actual,
-        average_slack=governor.slack_tracker.history,
-        early_misprediction_percent=early.mean_percent,
-        late_misprediction_percent=late.mean_percent,
-        exploration_phase_epochs=governor.exploration_count,
-        ewma_gamma=governor.config.ewma_gamma,
-        simulation=simulation,
+        predicted_cycles=probe["predicted_cycles"],
+        actual_cycles=probe["actual_cycles"],
+        average_slack=probe["average_slack"],
+        early_misprediction_percent=probe["early_misprediction_percent"],
+        late_misprediction_percent=probe["late_misprediction_percent"],
+        exploration_phase_epochs=probe["exploration_count"],
+        ewma_gamma=probe["ewma_gamma"],
+        simulation=outcome.result,
     )
 
 

@@ -26,19 +26,24 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.reporting import format_table
+from repro.campaign.spec import CampaignSpec, FactorySpec
 from repro.experiments.common import PAPER_TABLE1, ExperimentSettings
-from repro.governors.multicore_dvfs import MultiCoreDVFSGovernor
-from repro.governors.ondemand import OndemandGovernor
-from repro.rtm.multicore import MultiCoreRLGovernor
 from repro.sim.comparison import ComparisonRow, compare_to_oracle, pairwise_energy_saving
 from repro.sim.results import SimulationResult
-from repro.workload.video import h264_football_application
 
 #: Mapping from run key to the methodology name used in the paper's table.
 _DISPLAY_NAMES = {
     "ondemand": "Linux Ondemand [5]",
     "multicore_dvfs": "Multi-core DVFS control [20]",
     "proposed": "Proposed",
+}
+
+#: The four runs of the Table I comparison, keyed by methodology.
+_GOVERNORS = {
+    "ondemand": FactorySpec.of("ondemand"),
+    "multicore_dvfs": FactorySpec.of("multicore-dvfs"),
+    "proposed": FactorySpec.of("proposed"),
+    "oracle": FactorySpec.of("oracle"),
 }
 
 
@@ -63,26 +68,32 @@ class Table1Result:
         raise KeyError(f"no row for methodology {methodology!r}")
 
 
+def build_table1_campaign(
+    settings: ExperimentSettings = ExperimentSettings(), seed: int = 11
+) -> CampaignSpec:
+    """The Table I sweep as a declarative campaign (one app × four governors)."""
+    return CampaignSpec.from_grid(
+        "table1",
+        applications=[FactorySpec.of("h264-football", num_frames=settings.num_frames)],
+        governors=_GOVERNORS,
+        cluster=settings.cluster_spec(),
+        seeds=(seed,),
+    )
+
+
 def run_table1(settings: ExperimentSettings = ExperimentSettings(), seed: int = 11) -> Table1Result:
     """Run the Table I comparison and return its rows.
 
     Parameters
     ----------
     settings:
-        Frame count / core count of the run (the paper uses ~3000 frames).
+        Frame count / core count of the run (the paper uses ~3000 frames)
+        and the campaign backend to execute it on.
     seed:
         Seed of the football-sequence workload generator.
     """
-    application = h264_football_application(num_frames=settings.num_frames, seed=seed)
-    runner = settings.make_runner()
-    results = runner.run_with_oracle(
-        application,
-        {
-            "ondemand": OndemandGovernor,
-            "multicore_dvfs": MultiCoreDVFSGovernor,
-            "proposed": MultiCoreRLGovernor,
-        },
-    )
+    campaign = build_table1_campaign(settings, seed)
+    results = settings.make_executor().run(campaign).results()
     rows = compare_to_oracle(results, display_names=_DISPLAY_NAMES)
     saving = pairwise_energy_saving(results, candidate_key="proposed", baseline_key="ondemand")
     return Table1Result(

@@ -25,12 +25,8 @@ from typing import Callable, Dict, List
 
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import mean
+from repro.campaign.spec import CampaignSpec, FactorySpec
 from repro.experiments.common import PAPER_TABLE2, ExperimentSettings
-from repro.governors.shen_rl import ShenRLGovernor
-from repro.rtm.multicore import MultiCoreRLGovernor
-from repro.workload.application import Application
-from repro.workload.fft import fft_application
-from repro.workload.video import h264_application, mpeg4_application
 
 
 @dataclass(frozen=True)
@@ -51,14 +47,36 @@ class Table2Row:
         return 100.0 * (self.explorations_upd - self.explorations_ours) / self.explorations_upd
 
 
-#: The three applications of Table II: name -> (paper key, generator taking (frames, seed)).
-_APPLICATIONS: Dict[str, Callable[[int, int], Application]] = {
-    "MPEG4 (30 fps)": lambda frames, seed: mpeg4_application(
-        num_frames=frames, frames_per_second=30.0, seed=seed
+#: The three applications of Table II: paper name -> application spec builder.
+_APPLICATIONS: Dict[str, Callable[[int], FactorySpec]] = {
+    "MPEG4 (30 fps)": lambda frames: FactorySpec.of(
+        "mpeg4", num_frames=frames, frames_per_second=30.0
     ),
-    "H.264 (15 fps)": lambda frames, seed: h264_application(num_frames=frames, seed=seed),
-    "FFT (32 fps)": lambda frames, seed: fft_application(num_frames=frames, seed=seed),
+    "H.264 (15 fps)": lambda frames: FactorySpec.of("h264", num_frames=frames),
+    "FFT (32 fps)": lambda frames: FactorySpec.of("fft", num_frames=frames),
 }
+
+#: The two exploration strategies under comparison.
+_GOVERNORS = {
+    "ours": FactorySpec.of("proposed"),
+    "upd": FactorySpec.of("shen-upd"),
+}
+
+
+def build_table2_campaign(
+    settings: ExperimentSettings = ExperimentSettings(), base_seed: int = 7
+) -> CampaignSpec:
+    """The Table II sweep: three applications × two governors × the seeds."""
+    num_frames = max(300, min(settings.num_frames, 600))
+    return CampaignSpec.from_grid(
+        "table2",
+        applications={
+            name: builder(num_frames) for name, builder in _APPLICATIONS.items()
+        },
+        governors=_GOVERNORS,
+        cluster=settings.cluster_spec(),
+        seeds=tuple(base_seed + offset for offset in range(settings.num_seeds)),
+    )
 
 
 def run_table2(settings: ExperimentSettings = ExperimentSettings(), base_seed: int = 7) -> List[Table2Row]:
@@ -68,18 +86,18 @@ def run_table2(settings: ExperimentSettings = ExperimentSettings(), base_seed: i
     seeds; the exploration counts are averaged, matching the paper's
     "average number of explorations".
     """
-    runner = settings.make_runner()
-    num_frames = max(300, min(settings.num_frames, 600))
+    campaign = build_table2_campaign(settings, base_seed)
+    store = settings.make_executor().run(campaign)
     rows: List[Table2Row] = []
-    for name, generator in _APPLICATIONS.items():
-        ours_counts: List[float] = []
-        upd_counts: List[float] = []
-        for offset in range(settings.num_seeds):
-            application = generator(num_frames, base_seed + offset)
-            ours = runner.run_one(application, MultiCoreRLGovernor)
-            upd = runner.run_one(application, ShenRLGovernor)
-            ours_counts.append(ours.exploration_count)
-            upd_counts.append(upd.exploration_count)
+    for name in _APPLICATIONS:
+        ours_counts = [
+            float(outcome.result.exploration_count)
+            for outcome in store.select(application_key=name, governor_key="ours")
+        ]
+        upd_counts = [
+            float(outcome.result.exploration_count)
+            for outcome in store.select(application_key=name, governor_key="upd")
+        ]
         paper_upd, paper_ours = PAPER_TABLE2[name]
         rows.append(
             Table2Row(

@@ -25,13 +25,17 @@ from typing import List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import mean
+from repro.campaign.spec import CampaignSpec, FactorySpec
 from repro.experiments.common import PAPER_TABLE3, ExperimentSettings
-from repro.governors.multicore_dvfs import MultiCoreDVFSGovernor
-from repro.rtm.multicore import MultiCoreRLGovernor
-from repro.workload.video import VideoWorkloadModel
 
 #: The paper's ffmpeg decode uses a 31 ms per-frame reference time.
 FFMPEG_REFERENCE_TIME_S = 0.031
+
+#: The two learning governors whose overhead the table compares.
+_GOVERNORS = {
+    "baseline": FactorySpec.of("multicore-dvfs"),
+    "proposed": FactorySpec.of("proposed"),
+}
 
 
 @dataclass(frozen=True)
@@ -55,19 +59,18 @@ class Table3Result:
         return self.baseline_learning_epochs / self.proposed_learning_epochs
 
 
-def _ffmpeg_like_application(num_frames: int, seed: int):
-    """The ffmpeg decode workload of the overhead experiment (Tref = 31 ms)."""
-    model = VideoWorkloadModel(
-        name="ffmpeg-decode",
-        frames_per_second=25.0,
-        reference_time_s=FFMPEG_REFERENCE_TIME_S,
-        mean_frame_cycles=6.5e7,
-        motion_sigma=0.03,
-        scene_change_probability=0.012,
-        jitter_cv=0.08,
-        seed=seed,
+def build_table3_campaign(
+    settings: ExperimentSettings = ExperimentSettings(), base_seed: int = 5
+) -> CampaignSpec:
+    """The Table III sweep: the ffmpeg decode × two governors × the seeds."""
+    num_frames = max(400, settings.num_frames)
+    return CampaignSpec.from_grid(
+        "table3",
+        applications=[FactorySpec.of("ffmpeg-decode", num_frames=num_frames)],
+        governors=_GOVERNORS,
+        cluster=settings.cluster_spec(),
+        seeds=tuple(base_seed + offset for offset in range(settings.num_seeds)),
     )
-    return model.generate(num_frames)
 
 
 def run_table3(settings: ExperimentSettings = ExperimentSettings(), base_seed: int = 5) -> Table3Result:
@@ -79,26 +82,24 @@ def run_table3(settings: ExperimentSettings = ExperimentSettings(), base_seed: i
     multi-core DVFS baseline the epochs during which at least one per-core
     workload bin is still unlearnt.
     """
-    runner = settings.make_runner()
-    num_frames = max(400, settings.num_frames)
+    campaign = build_table3_campaign(settings, base_seed)
+    store = settings.make_executor().run(campaign)
     baseline_epochs: List[float] = []
     proposed_epochs: List[float] = []
     baseline_converged: List[float] = []
     proposed_converged: List[float] = []
     baseline_overhead: List[float] = []
     proposed_overhead: List[float] = []
-    for offset in range(settings.num_seeds):
-        application = _ffmpeg_like_application(num_frames, base_seed + offset)
-        baseline = runner.run_one(application, MultiCoreDVFSGovernor)
-        proposed = runner.run_one(application, MultiCoreRLGovernor)
-        baseline_epochs.append(baseline.exploration_count)
-        proposed_epochs.append(proposed.exploration_count)
-        if baseline.converged_epoch is not None:
-            baseline_converged.append(baseline.converged_epoch)
-        if proposed.converged_epoch is not None:
-            proposed_converged.append(proposed.converged_epoch)
-        baseline_overhead.append(baseline.total_overhead_s)
-        proposed_overhead.append(proposed.total_overhead_s)
+    for key, epochs, converged, overhead in (
+        ("baseline", baseline_epochs, baseline_converged, baseline_overhead),
+        ("proposed", proposed_epochs, proposed_converged, proposed_overhead),
+    ):
+        for outcome in store.select(governor_key=key):
+            result = outcome.result
+            epochs.append(float(result.exploration_count))
+            if result.converged_epoch is not None:
+                converged.append(float(result.converged_epoch))
+            overhead.append(result.total_overhead_s)
     return Table3Result(
         baseline_learning_epochs=mean(baseline_epochs),
         proposed_learning_epochs=mean(proposed_epochs),

@@ -129,3 +129,32 @@ class RuntimeManagerAPI:
     def registration_history(self) -> List[PerformanceTarget]:
         """Every registration ever made, in order (for audit/diagnostics)."""
         return list(self._history)
+
+
+#: Campaign-layer names re-exported here so application code that programs
+#: against the RTM API surface can also declare and run scenario sweeps.
+#: Resolved lazily (PEP 562) because :mod:`repro.campaign.registry` imports
+#: the RTM governors, which would otherwise be a circular import.
+_CAMPAIGN_EXPORTS = (
+    "CampaignSpec",
+    "ScenarioSpec",
+    "FactorySpec",
+    "CampaignResult",
+    "ScenarioOutcome",
+    "CampaignExecutor",
+    "run_campaign",
+    "register_application",
+    "register_governor",
+    "register_cluster",
+    "register_probe",
+)
+
+__all__ = ["PerformanceTarget", "RuntimeManagerAPI", *_CAMPAIGN_EXPORTS]
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        import repro.campaign as campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

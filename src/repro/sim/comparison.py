@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.platform.energy import energy_saving_percent
@@ -38,7 +38,7 @@ class ComparisonRow:
 def compare_to_oracle(
     results: Dict[str, SimulationResult],
     oracle_key: str = "oracle",
-    display_names: Dict[str, str] = {},
+    display_names: Optional[Dict[str, str]] = None,
 ) -> List[ComparisonRow]:
     """Build Table-I-style rows from a set of runs that includes an Oracle run.
 
@@ -52,6 +52,8 @@ def compare_to_oracle(
     display_names:
         Optional mapping of run key to the name shown in the row.
     """
+    if display_names is None:
+        display_names = {}
     if oracle_key not in results:
         raise SimulationError(f"results must include an Oracle run under key {oracle_key!r}")
     oracle = results[oracle_key]

@@ -9,7 +9,7 @@ time, energy and governor behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.platform.cluster import Cluster
@@ -44,6 +44,51 @@ class SimulationConfig:
     idle_until_deadline: bool = True
     charge_governor_overhead: bool = True
     initial_operating_index: Optional[int] = None
+
+
+def _epoch_outputs(
+    frame_index: int,
+    per_core: Sequence[float],
+    execution,
+    deadline_s: float,
+    overhead_s: float,
+    explored: bool,
+) -> Tuple[FrameRecord, EpochObservation]:
+    """Build the epoch's record and the governor's observation from one snapshot.
+
+    The two views share every measured quantity; deriving both from a single
+    call keeps them from drifting apart.
+    """
+    busy_time_s = max(core_result.busy_time_s for core_result in execution.core_results)
+    cycles = tuple(per_core)
+    record = FrameRecord(
+        index=frame_index,
+        operating_index=execution.operating_index,
+        frequency_mhz=execution.operating_point.frequency_mhz,
+        cycles_per_core=cycles,
+        busy_time_s=busy_time_s,
+        overhead_time_s=overhead_s,
+        frame_time_s=busy_time_s + overhead_s,
+        interval_s=execution.duration_s,
+        deadline_s=deadline_s,
+        energy_j=execution.energy_j,
+        average_power_w=execution.average_power_w,
+        measured_power_w=execution.measured_power_w,
+        temperature_c=execution.temperature_c,
+        explored=explored,
+    )
+    observation = EpochObservation(
+        epoch_index=frame_index,
+        cycles_per_core=cycles,
+        busy_time_s=busy_time_s,
+        interval_s=execution.duration_s,
+        reference_time_s=deadline_s,
+        operating_index=execution.operating_index,
+        energy_j=execution.energy_j,
+        measured_power_w=execution.measured_power_w,
+        overhead_time_s=overhead_s,
+    )
+    return record, observation
 
 
 class SimulationEngine:
@@ -109,47 +154,23 @@ class SimulationEngine:
                 pending_transition=transition,
             )
 
-            busy_time = max(
-                core_result.busy_time_s for core_result in execution.core_results
-            )
             overhead = 0.0
             if config.charge_governor_overhead:
                 overhead = governor.processing_overhead_s + transition.latency_s
-            frame_time = busy_time + overhead
 
             exploration_count = governor.exploration_count
             explored = exploration_count > previous_exploration_count
             previous_exploration_count = exploration_count
 
-            record = FrameRecord(
-                index=frame.index,
-                operating_index=execution.operating_index,
-                frequency_mhz=execution.operating_point.frequency_mhz,
-                cycles_per_core=tuple(per_core),
-                busy_time_s=busy_time,
-                overhead_time_s=overhead,
-                frame_time_s=frame_time,
-                interval_s=execution.duration_s,
+            record, previous_observation = _epoch_outputs(
+                frame_index=frame.index,
+                per_core=per_core,
+                execution=execution,
                 deadline_s=frame.deadline_s,
-                energy_j=execution.energy_j,
-                average_power_w=execution.average_power_w,
-                measured_power_w=execution.measured_power_w,
-                temperature_c=execution.temperature_c,
+                overhead_s=overhead,
                 explored=explored,
             )
             result.records.append(record)
-
-            previous_observation = EpochObservation(
-                epoch_index=frame.index,
-                cycles_per_core=tuple(per_core),
-                busy_time_s=busy_time,
-                interval_s=execution.duration_s,
-                reference_time_s=frame.deadline_s,
-                operating_index=execution.operating_index,
-                energy_j=execution.energy_j,
-                measured_power_w=execution.measured_power_w,
-                overhead_time_s=overhead,
-            )
 
         result.exploration_count = governor.exploration_count
         result.converged_epoch = governor.converged_epoch

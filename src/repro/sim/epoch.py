@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Tuple
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,19 @@ class FrameRecord:
     measured_power_w: float
     temperature_c: float
     explored: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of the record."""
+        data = asdict(self)
+        data["cycles_per_core"] = list(self.cycles_per_core)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FrameRecord":
+        """Inverse of :meth:`to_dict`."""
+        fields = dict(data)
+        fields["cycles_per_core"] = tuple(fields["cycles_per_core"])
+        return cls(**fields)
 
     @property
     def met_deadline(self) -> bool:

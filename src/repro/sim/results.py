@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.platform.energy import EnergyAccount
@@ -116,6 +116,30 @@ class SimulationResult:
             total_time_s=self.total_time_s,
             frame_times_s=self.frame_times_s,
             reference_time_s=self.reference_time_s,
+        )
+
+    # -- JSON round-trip -----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of the complete run (used by campaign persistence)."""
+        return {
+            "governor_name": self.governor_name,
+            "application_name": self.application_name,
+            "reference_time_s": self.reference_time_s,
+            "exploration_count": self.exploration_count,
+            "converged_epoch": self.converged_epoch,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            governor_name=data["governor_name"],
+            application_name=data["application_name"],
+            reference_time_s=data["reference_time_s"],
+            records=[FrameRecord.from_dict(record) for record in data.get("records", [])],
+            exploration_count=data.get("exploration_count", 0),
+            converged_epoch=data.get("converged_epoch"),
         )
 
     # -- slicing ------------------------------------------------------------------------

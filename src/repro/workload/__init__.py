@@ -28,6 +28,7 @@ from repro.workload.video import (
     mpeg4_application,
     h264_application,
     h264_football_application,
+    ffmpeg_decode_application,
 )
 from repro.workload.fft import FFTWorkloadModel, fft_application
 from repro.workload.parsec import parsec_application, PARSEC_BENCHMARKS
@@ -48,6 +49,7 @@ __all__ = [
     "mpeg4_application",
     "h264_application",
     "h264_football_application",
+    "ffmpeg_decode_application",
     "FFTWorkloadModel",
     "fft_application",
     "parsec_application",

@@ -222,3 +222,26 @@ def h264_application(
         seed=seed,
     )
     return model.generate(num_frames)
+
+
+def ffmpeg_decode_application(
+    num_frames: int = 400,
+    frames_per_second: float = 25.0,
+    reference_time_s: float = 0.031,
+    mean_frame_cycles: float = 6.5e7,
+    seed: int = 5,
+    num_threads: int = 4,
+) -> Application:
+    """The ffmpeg decode workload of the paper's Table III (Tref = 31 ms)."""
+    model = VideoWorkloadModel(
+        name="ffmpeg-decode",
+        frames_per_second=frames_per_second,
+        reference_time_s=reference_time_s,
+        mean_frame_cycles=mean_frame_cycles,
+        motion_sigma=0.03,
+        scene_change_probability=0.012,
+        jitter_cv=0.08,
+        num_threads=num_threads,
+        seed=seed,
+    )
+    return model.generate(num_frames)
