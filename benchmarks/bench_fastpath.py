@@ -1,0 +1,261 @@
+"""Benchmark the two-tier simulation fast path and write ``BENCH_results.json``.
+
+Two measurements, matching the two tiers of the performance work:
+
+* **Vectorised fast path** (Tier 2): every static-schedule governor
+  (performance, powersave, userspace, oracle) across the paper's
+  application traces, scalar engine vs :mod:`repro.sim.fastpath`.  Each
+  pair is also checked for numerical equivalence (energy within 1e-9
+  relative, identical deadline-miss sets) so a speedup can never be bought
+  with wrong numbers.
+* **Hot-loop power cache** (Tier 1): closed-loop governors (ondemand and
+  the paper's Q-learning RTM) with the cluster's per-operating-point power
+  cache enabled vs disabled — the win every governor gets even when the
+  vectorised path does not apply.
+
+Run as a script to (re)generate the tracked perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --smoke --output BENCH_results.json
+
+or through pytest (``pytest benchmarks/bench_fastpath.py``) for the
+assertion-bearing smoke versions of the same measurements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from typing import Callable, Dict, List
+
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.oracle import OracleGovernor
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.governors.userspace import UserspaceGovernor
+from repro.platform.odroid_xu3 import build_a15_cluster
+from repro.rtm.multicore import MultiCoreRLGovernor
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.workload.fft import fft_application
+from repro.workload.video import h264_application, mpeg4_application
+
+APPLICATIONS: Dict[str, Callable[..., object]] = {
+    "mpeg4": mpeg4_application,
+    "h264": h264_application,
+    "fft": fft_application,
+}
+
+VECTOR_GOVERNORS: Dict[str, Callable[[], object]] = {
+    "oracle": OracleGovernor,
+    "performance": PerformanceGovernor,
+    "powersave": PowersaveGovernor,
+    "userspace": lambda: UserspaceGovernor(index=9),
+}
+
+CLOSED_LOOP_GOVERNORS: Dict[str, Callable[[], object]] = {
+    "ondemand": OndemandGovernor,
+    "proposed": MultiCoreRLGovernor,
+}
+
+
+def _best_of(callable_, repeats: int) -> float:
+    """Best wall-clock of ``repeats`` calls (least-noise point estimate)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _check_equivalence(scalar, fast) -> Dict[str, object]:
+    """Max relative errors + miss-set identity between the two engines."""
+    max_energy_err = 0.0
+    max_time_err = 0.0
+    for fast_record, scalar_record in zip(fast.records, scalar.records):
+        if scalar_record.operating_index != fast_record.operating_index:
+            raise AssertionError("fast path chose a different operating point")
+        max_energy_err = max(
+            max_energy_err,
+            abs(fast_record.energy_j - scalar_record.energy_j)
+            / abs(scalar_record.energy_j),
+        )
+        max_time_err = max(
+            max_time_err,
+            abs(fast_record.interval_s - scalar_record.interval_s)
+            / abs(scalar_record.interval_s),
+        )
+    scalar_misses = [r.index for r in scalar.records if not r.met_deadline]
+    fast_misses = [r.index for r in fast.records if not r.met_deadline]
+    if scalar_misses != fast_misses:
+        raise AssertionError("fast path produced a different deadline-miss set")
+    if max_energy_err > 1e-9 or max_time_err > 1e-9:
+        raise AssertionError(
+            f"fast path diverged: energy rel err {max_energy_err:.2e}, "
+            f"time rel err {max_time_err:.2e}"
+        )
+    return {
+        "max_rel_energy_err": max_energy_err,
+        "max_rel_time_err": max_time_err,
+        "miss_sets_identical": True,
+    }
+
+
+def bench_vectorized(num_frames: int, repeats: int = 3) -> List[Dict[str, object]]:
+    """Scalar vs vectorised engine across the static-schedule grid."""
+    rows: List[Dict[str, object]] = []
+    for app_name, app_factory in APPLICATIONS.items():
+        application = app_factory(num_frames=num_frames, seed=11)
+        for gov_name, gov_factory in VECTOR_GOVERNORS.items():
+
+            def scalar_run():
+                return SimulationEngine(
+                    build_a15_cluster(), SimulationConfig(prefer_fast_path=False)
+                ).run(application, gov_factory())
+
+            def fast_run():
+                engine = SimulationEngine(build_a15_cluster())
+                result = engine.run(application, gov_factory())
+                if not engine.last_used_fast_path:
+                    raise AssertionError(f"{gov_name} did not take the fast path")
+                return result
+
+            equivalence = _check_equivalence(scalar_run(), fast_run())
+            scalar_s = _best_of(scalar_run, repeats)
+            fast_s = _best_of(fast_run, repeats)
+            rows.append(
+                {
+                    "scenario": f"{app_name}/{gov_name}",
+                    "application": app_name,
+                    "governor": gov_name,
+                    "frames": num_frames,
+                    "scalar_wall_s": scalar_s,
+                    "fast_wall_s": fast_s,
+                    "scalar_frames_per_s": num_frames / scalar_s,
+                    "fast_frames_per_s": num_frames / fast_s,
+                    "speedup": scalar_s / fast_s,
+                    **equivalence,
+                }
+            )
+    return rows
+
+
+def bench_power_cache(num_frames: int, repeats: int = 3) -> List[Dict[str, object]]:
+    """Closed-loop governors with the Tier-1 power cache on vs off."""
+    rows: List[Dict[str, object]] = []
+    application = mpeg4_application(num_frames=num_frames, seed=11)
+    for gov_name, gov_factory in CLOSED_LOOP_GOVERNORS.items():
+
+        def run(power_cache_size: int):
+            return SimulationEngine(
+                build_a15_cluster(power_cache_size=power_cache_size),
+                SimulationConfig(prefer_fast_path=False),
+            ).run(application, gov_factory())
+
+        cached = run(1024)
+        uncached = run(0)
+        if [r.energy_j for r in cached.records] != [r.energy_j for r in uncached.records]:
+            raise AssertionError("power cache changed per-frame energies")
+        uncached_s = _best_of(lambda: run(0), repeats)
+        cached_s = _best_of(lambda: run(1024), repeats)
+        rows.append(
+            {
+                "scenario": f"mpeg4/{gov_name}",
+                "governor": gov_name,
+                "frames": num_frames,
+                "uncached_wall_s": uncached_s,
+                "cached_wall_s": cached_s,
+                "cached_frames_per_s": num_frames / cached_s,
+                "speedup": uncached_s / cached_s,
+                "win_percent": 100.0 * (uncached_s - cached_s) / uncached_s,
+            }
+        )
+    return rows
+
+
+def run_suite(num_frames: int, repeats: int, smoke: bool) -> Dict[str, object]:
+    vectorized = bench_vectorized(num_frames, repeats)
+    tier1 = bench_power_cache(num_frames, repeats)
+    speedups = [row["speedup"] for row in vectorized]
+    return {
+        "generated_by": "benchmarks/bench_fastpath.py",
+        "mode": "smoke" if smoke else "full",
+        "frames_per_scenario": num_frames,
+        "repeats": repeats,
+        "vectorized_fast_path": vectorized,
+        "tier1_power_cache": tier1,
+        "summary": {
+            "vectorized_speedup_min": min(speedups),
+            "vectorized_speedup_median": statistics.median(speedups),
+            "vectorized_speedup_max": max(speedups),
+            "tier1_cache_win_percent": {
+                row["governor"]: row["win_percent"] for row in tier1
+            },
+        },
+    }
+
+
+# -- pytest entry points (explicit: `pytest benchmarks/bench_fastpath.py`) -----
+def test_bench_vectorized_speedup_and_equivalence():
+    rows = bench_vectorized(num_frames=600, repeats=2)
+    for row in rows:
+        assert row["miss_sets_identical"]
+        assert row["max_rel_energy_err"] <= 1e-9
+    oracle_speedups = [r["speedup"] for r in rows if r["governor"] == "oracle"]
+    print()
+    for row in rows:
+        print(
+            f"{row['scenario']:24s} scalar {row['scalar_frames_per_s']:9.0f} f/s  "
+            f"fast {row['fast_frames_per_s']:10.0f} f/s  ({row['speedup']:.1f}x)"
+        )
+    assert min(oracle_speedups) >= 3.0  # conservative floor for noisy CI boxes
+
+
+def test_bench_power_cache_win():
+    rows = bench_power_cache(num_frames=600, repeats=2)
+    print()
+    for row in rows:
+        print(
+            f"{row['scenario']:24s} uncached {row['uncached_wall_s'] * 1e3:7.1f} ms  "
+            f"cached {row['cached_wall_s'] * 1e3:7.1f} ms  ({row['win_percent']:+.1f}%)"
+        )
+    # The cache must never make things slower by more than noise.
+    assert all(row["win_percent"] > -5.0 for row in rows)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_results.json", help="where to write the results"
+    )
+    parser.add_argument(
+        "--frames", type=int, default=3000, help="frames per scenario (full mode)"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced scale for CI (600 frames)"
+    )
+    args = parser.parse_args()
+    num_frames = 600 if args.smoke else args.frames
+
+    results = run_suite(num_frames, args.repeats, args.smoke)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    for row in results["vectorized_fast_path"]:
+        print(
+            f"  {row['scenario']:24s} {row['scalar_frames_per_s']:9.0f} -> "
+            f"{row['fast_frames_per_s']:10.0f} frames/s  ({row['speedup']:.1f}x)"
+        )
+    for row in results["tier1_power_cache"]:
+        print(
+            f"  {row['scenario']:24s} power cache win {row['win_percent']:+.1f}% "
+            f"({row['speedup']:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Small cross-version compatibility shims.
+
+``SLOTS`` is splatted into ``@dataclass(...)`` decorators of hot-path record
+types so they are allocated without a per-instance ``__dict__`` on modern
+interpreters.  Slotted frozen dataclasses only pickle correctly from Python
+3.11 onward (needed by the campaign process-pool backend), so the flag is
+gated on 3.11 rather than 3.10 where the keyword first appeared.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+SLOTS: Dict[str, Any] = {"slots": True} if sys.version_info >= (3, 11) else {}

@@ -34,6 +34,13 @@ def run_scenario(scenario: ScenarioSpec) -> ScenarioOutcome:
     Builds a fresh cluster, application and governor from the scenario's
     named factories, runs the closed-loop simulation, then applies the
     scenario's probe (if any) while the governor is still live.
+
+    Scenarios whose governor exposes a static schedule (the pinned Linux
+    policies and the Oracle) automatically run on the vectorised fast path
+    (see :mod:`repro.sim.fastpath`) unless the scenario's config sets
+    ``prefer_fast_path=False``; clusters built through the registry default
+    to ``record_history=False``, so campaign memory stays bounded however
+    many frames a scenario sweeps.
     """
     cluster = registry.cluster_factory(scenario.cluster.name)(**scenario.cluster.kwargs)
     app_kwargs = dict(scenario.application.kwargs)

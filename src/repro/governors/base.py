@@ -7,10 +7,11 @@ stock-policy baselines have in common.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.errors import GovernorError
 from repro.rtm.governor import EpochObservation, FrameHint, Governor
+from repro.workload.application import Application
 
 
 class StaticGovernor(Governor):
@@ -33,11 +34,7 @@ class StaticGovernor(Governor):
             raise GovernorError(f"governor {self.name!r} has no operating point configured")
         return self._requested_index
 
-    def decide(
-        self,
-        previous: Optional[EpochObservation],
-        hint: Optional[FrameHint] = None,
-    ) -> int:
+    def _validated_index(self) -> int:
         index = self._resolve_index()
         if not 0 <= index < self.platform.num_actions:
             raise GovernorError(
@@ -45,6 +42,23 @@ class StaticGovernor(Governor):
                 f"{self.platform.num_actions} operating points"
             )
         return index
+
+    def decide(
+        self,
+        previous: Optional[EpochObservation],
+        hint: Optional[FrameHint] = None,
+    ) -> int:
+        return self._validated_index()
+
+    def static_schedule(self, application: Application) -> Optional[List[int]]:
+        """A pinned governor's schedule is its one index repeated per frame.
+
+        The schedule snapshots the index configured at probe time; a caller
+        that mutates a :class:`~repro.governors.userspace.UserspaceGovernor`
+        *during* a run must run it on the scalar engine (the engine probes
+        once, before the first frame).
+        """
+        return [self._validated_index()] * application.num_frames
 
 
 def observed_load(observation: EpochObservation) -> float:

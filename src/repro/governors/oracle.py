@@ -15,10 +15,11 @@ governors ignore.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.errors import GovernorError
 from repro.rtm.governor import EpochObservation, FrameHint, Governor
+from repro.workload.application import Application
 
 
 class OracleGovernor(Governor):
@@ -53,6 +54,26 @@ class OracleGovernor(Governor):
         table = self.platform.vf_table
         effective_deadline = hint.deadline_s * (1.0 - self.guard_band)
         return table.lowest_index_meeting(hint.max_cycles, effective_deadline)
+
+    def static_schedule(self, application: Application) -> Optional[List[int]]:
+        """The Oracle's whole schedule, computed up front from the frame trace.
+
+        Per-frame this is exactly :meth:`decide` on the hint the engine
+        would pass: ``lowest_index_meeting`` over the guard-banded deadline,
+        so the vectorised fast path chooses bit-identical operating points.
+        """
+        table = self.platform.vf_table
+        num_cores = self.platform.num_cores
+        margin = 1.0 - self.guard_band
+        max_cycles = [max(frame.cycles_per_core(num_cores)) for frame in application]
+        deadlines = [frame.deadline_s * margin for frame in application]
+        try:
+            return table.lowest_indices_meeting(max_cycles, deadlines)
+        except ImportError:  # pragma: no cover - numpy-less installs
+            return [
+                table.lowest_index_meeting(cycles, deadline)
+                for cycles, deadline in zip(max_cycles, deadlines)
+            ]
 
     def describe(self) -> str:
         return "oracle: slowest deadline-meeting operating point with perfect knowledge"

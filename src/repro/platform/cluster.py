@@ -11,9 +11,11 @@ operating point and tell me how long it took and how much energy it cost*.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro._compat import SLOTS
 from repro.errors import PlatformError
 from repro.platform.core import Core, CoreExecutionResult
 from repro.platform.dvfs import DVFSActuator, DVFSTransition
@@ -23,7 +25,7 @@ from repro.platform.thermal import ThermalModel
 from repro.platform.vf_table import OperatingPoint, VFTable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class ClusterExecutionResult:
     """Outcome of executing one frame's worth of work on a cluster.
 
@@ -77,6 +79,27 @@ class Cluster:
         of the real platform where an idle core is clock-gated regardless of
         the cluster's DVFS setting.  If False, idle time is charged at the
         active operating point (pessimistic, no idle states).
+    record_history:
+        Passed to the cluster-built :class:`EnergyMeter` (and to the default
+        :class:`PowerSensor` when the caller does not supply one): per-frame
+        history recording is opt-in so long campaign runs do not grow memory
+        without bound.
+    power_cache_size:
+        Maximum number of entries of the per-operating-point core-power LRU
+        cache.  The leakage model costs two ``math.exp`` calls per lookup,
+        evaluated twice per frame in the simulator's inner loop; with the
+        thermal model disabled (the paper's setting) the junction
+        temperature is constant and every busy/idle power is one of
+        ``2 × #OPPs`` values, so the cache turns the hot loop's power-model
+        work into two dict reads.  ``0`` disables caching (used by the
+        benchmarks to measure the win).
+    power_cache_bucket_c:
+        Optional temperature quantisation (degrees Celsius) of the cache
+        key.  ``0.0`` (default) keys on the exact temperature — numerically
+        transparent, and still fully effective when the thermal model is
+        off.  A positive bucket makes thermally-enabled runs cache-friendly
+        at the cost of evaluating leakage at the bucket centre instead of
+        the exact temperature (an approximation the caller opts into).
     """
 
     def __init__(
@@ -89,18 +112,28 @@ class Cluster:
         power_sensor: Optional[PowerSensor] = None,
         dvfs: Optional[DVFSActuator] = None,
         idle_at_min_opp: bool = True,
+        record_history: bool = False,
+        power_cache_size: int = 1024,
+        power_cache_bucket_c: float = 0.0,
     ) -> None:
         if not cores:
             raise PlatformError("a cluster requires at least one core")
+        if power_cache_size < 0:
+            raise PlatformError("power_cache_size must be non-negative")
+        if power_cache_bucket_c < 0:
+            raise PlatformError("power_cache_bucket_c must be non-negative")
         self.name = name
         self.cores: List[Core] = list(cores)
         self.vf_table = vf_table
         self.power_model = power_model or PowerModel()
         self.thermal_model = thermal_model or ThermalModel(enabled=False)
-        self.power_sensor = power_sensor or PowerSensor()
+        self.power_sensor = power_sensor or PowerSensor(record_history=record_history)
         self.dvfs = dvfs or DVFSActuator(table=vf_table)
         self.idle_at_min_opp = idle_at_min_opp
-        self.energy_meter = EnergyMeter()
+        self.energy_meter = EnergyMeter(record_history=record_history)
+        self.power_cache_bucket_c = power_cache_bucket_c
+        self._power_cache_size = power_cache_size
+        self._power_cache: "OrderedDict[Tuple[int, bool, float], float]" = OrderedDict()
         self._time_s = 0.0
 
     # -- introspection ---------------------------------------------------------
@@ -128,6 +161,49 @@ class Cluster:
     def total_energy_j(self) -> float:
         """Total true energy consumed by the cluster so far."""
         return self.energy_meter.energy_j
+
+    # -- power cache -----------------------------------------------------------
+    def core_power_w(self, index: int, busy: bool, temperature_c: float) -> float:
+        """Single-core power at operating point ``index``, via the LRU cache.
+
+        ``busy`` selects utilisation 1.0 (executing) vs 0.0 (clocked idle).
+        Cached values are exact: the key includes the temperature, so a hit
+        returns bit-identical power to an uncached evaluation (unless the
+        caller opted into ``power_cache_bucket_c`` quantisation).  With the
+        thermal model enabled and no bucketing the temperature moves every
+        frame and exact keys would never hit, so the cache is bypassed
+        entirely rather than churned.  The cache assumes ``power_model`` is
+        not mutated after construction; call :meth:`invalidate_power_cache`
+        if it is.
+        """
+        bucket = self.power_cache_bucket_c
+        thermal_enabled = self.thermal_model.enabled
+        if self._power_cache_size == 0 or (thermal_enabled and bucket == 0.0):
+            return self.power_model.core_power_w(
+                self.vf_table[index], 1.0 if busy else 0.0, temperature_c
+            )
+        if bucket > 0.0 and thermal_enabled:
+            # Quantise only when the temperature actually moves; with the
+            # thermal model off, exact keys already hit every time and
+            # bucketing would perturb results for no benefit.
+            temperature_c = round(temperature_c / bucket) * bucket
+        key = (index, busy, temperature_c)
+        cache = self._power_cache
+        value = cache.get(key)
+        if value is None:
+            value = self.power_model.core_power_w(
+                self.vf_table[index], 1.0 if busy else 0.0, temperature_c
+            )
+            cache[key] = value
+            if len(cache) > self._power_cache_size:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        return value
+
+    def invalidate_power_cache(self) -> None:
+        """Drop all cached power values (after mutating ``power_model``)."""
+        self._power_cache.clear()
 
     # -- control ---------------------------------------------------------------
     def set_operating_index(self, index: int) -> DVFSTransition:
@@ -181,16 +257,15 @@ class Cluster:
             for core, cycles in zip(self.cores, demands)
         ]
         temperature = self.thermal_model.temperature_c
-        idle_point = self.vf_table.min_point if self.idle_at_min_opp else point
+        idle_index = 0 if self.idle_at_min_opp else index
 
         # Per-core energy: busy time at the active operating point, idle time
         # at the idle point (cpuidle / WFI clock gating).  Uncore power is
         # charged for the whole interval.
-        busy_power = self.power_model.core_power(point, 1.0, temperature)
-        idle_power = self.power_model.core_power(idle_point, 0.0, temperature)
+        busy_power_w = self.core_power_w(index, True, temperature)
+        idle_power_w = self.core_power_w(idle_index, False, temperature)
         core_energy_j = sum(
-            busy_power.total_w * result.busy_time_s
-            + idle_power.total_w * result.idle_time_s
+            busy_power_w * result.busy_time_s + idle_power_w * result.idle_time_s
             for result in core_results
         )
         uncore_energy_j = self.power_model.parameters.uncore_power_w * interval_s
@@ -228,6 +303,17 @@ class Cluster:
     def idle(self, duration_s: float) -> ClusterExecutionResult:
         """Let the cluster sit idle for ``duration_s`` at the current point."""
         return self.execute_workload([0.0] * self.num_cores, minimum_interval_s=duration_s)
+
+    def advance_time(self, duration_s: float) -> None:
+        """Advance the cluster clock by ``duration_s`` without executing work.
+
+        Used by the vectorised fast path, which accounts energy and PMU
+        activity in aggregate and then moves the clock once for the whole
+        trace.
+        """
+        if duration_s < 0:
+            raise PlatformError(f"duration must be non-negative, got {duration_s}")
+        self._time_s += duration_s
 
     # -- lifecycle ---------------------------------------------------------------
     def reset(self, operating_index: Optional[int] = None) -> None:

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro._compat import SLOTS
 from repro.errors import PlatformError
 from repro.platform.pmu import PerformanceMonitoringUnit
 from repro.platform.vf_table import OperatingPoint
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class CoreExecutionResult:
     """Outcome of running one piece of work on one core.
 

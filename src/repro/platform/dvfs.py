@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro._compat import SLOTS
 from repro.errors import ConfigurationError, InvalidOperatingPointError
 from repro.platform.vf_table import OperatingPoint, VFTable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class DVFSTransition:
     """A single recorded operating-point change."""
 
@@ -134,6 +135,22 @@ class DVFSActuator:
         """Request the slowest operating point at least as fast as ``frequency_hz``."""
         index = self.table.nearest_index_for_frequency(frequency_hz)
         return self.request(index, timestamp_s)
+
+    def absorb_transitions(
+        self, transitions: List[DVFSTransition], final_index: int
+    ) -> None:
+        """Append externally computed transition records and set the final point.
+
+        Used by the vectorised fast path, which derives the per-frame
+        transitions of a pre-computed schedule in array form rather than
+        through per-frame :meth:`request` calls, then hands the records over
+        so ``transition_count`` / ``total_transition_*`` report the same
+        values a scalar run would.
+        """
+        if not 0 <= final_index < len(self.table):
+            raise InvalidOperatingPointError(f"index {final_index} out of range")
+        self._transitions.extend(transitions)
+        self._current_index = final_index
 
     def reset(self, index: Optional[int] = None) -> None:
         """Clear transition history and optionally jump to ``index`` at no cost."""

@@ -115,6 +115,9 @@ def build_a15_cluster(
     enable_thermal: bool = False,
     sensor_noise_w: float = 0.0,
     seed: Optional[int] = 0,
+    record_history: bool = False,
+    power_cache_size: int = 1024,
+    power_cache_bucket_c: float = 0.0,
 ) -> Cluster:
     """Build the A15 (big) cluster the paper's experiments run on.
 
@@ -130,6 +133,17 @@ def build_a15_cluster(
         Standard deviation of the power-sensor noise in watts.
     seed:
         Seed for the sensor-noise generator.
+    record_history:
+        Opt into per-frame sensor/meter history recording (off by default:
+        the history grows unbounded over a campaign).
+    power_cache_size:
+        Size of the cluster's per-operating-point core-power LRU cache;
+        ``0`` disables caching (the benchmarks use this to measure the win).
+    power_cache_bucket_c:
+        Temperature quantisation of the cache key in degrees Celsius;
+        ``0.0`` keeps exact keys (which bypass the cache when the thermal
+        model is enabled).  Set a positive bucket to make thermally-enabled
+        sweeps cache-friendly at the cost of approximated leakage.
     """
     cores = [Core(core_id=i, name=f"A15-{i}") for i in range(num_cores)]
     thermal = ThermalModel(
@@ -153,8 +167,12 @@ def build_a15_cluster(
             resolution_w=0.005,
             noise_stddev_w=sensor_noise_w,
             seed=seed,
+            record_history=record_history,
         ),
         dvfs=DVFSActuator(table=A15_VF_TABLE),
+        record_history=record_history,
+        power_cache_size=power_cache_size,
+        power_cache_bucket_c=power_cache_bucket_c,
     )
 
 
@@ -163,6 +181,9 @@ def build_a7_cluster(
     enable_thermal: bool = False,
     sensor_noise_w: float = 0.0,
     seed: Optional[int] = 1,
+    record_history: bool = False,
+    power_cache_size: int = 1024,
+    power_cache_bucket_c: float = 0.0,
 ) -> Cluster:
     """Build the A7 (LITTLE) cluster of the Exynos 5422."""
     cores = [Core(core_id=i, name=f"A7-{i}") for i in range(num_cores)]
@@ -187,8 +208,12 @@ def build_a7_cluster(
             resolution_w=0.005,
             noise_stddev_w=sensor_noise_w,
             seed=seed,
+            record_history=record_history,
         ),
         dvfs=DVFSActuator(table=A7_VF_TABLE),
+        record_history=record_history,
+        power_cache_size=power_cache_size,
+        power_cache_bucket_c=power_cache_bucket_c,
     )
 
 

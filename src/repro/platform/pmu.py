@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro._compat import SLOTS
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **SLOTS)
 class PMUSample:
     """A snapshot of the PMU counters at a point in time.
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro._compat import SLOTS
 from repro.errors import ConfigurationError
 from repro.platform.vf_table import OperatingPoint
 
@@ -63,7 +64,7 @@ class PowerModelParameters:
                 raise ConfigurationError(f"{name} must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class PowerBreakdown:
     """Power split into its dynamic and static components (watts)."""
 
@@ -145,6 +146,22 @@ class PowerModel:
         return PowerBreakdown(
             dynamic_w=self.dynamic_power_w(point, utilisation),
             static_w=self.static_power_w(point, temperature_c),
+        )
+
+    def core_power_w(
+        self,
+        point: OperatingPoint,
+        utilisation: float,
+        temperature_c: float = 55.0,
+    ) -> float:
+        """Total single-core power as a plain float (no uncore share).
+
+        Identical value to ``core_power(...).total_w`` without allocating a
+        :class:`PowerBreakdown`; this is the entry point the simulator's
+        per-frame loop and the cluster's power cache use.
+        """
+        return self.dynamic_power_w(point, utilisation) + self.static_power_w(
+            point, temperature_c
         )
 
     def cluster_power(

@@ -5,18 +5,30 @@ DRAM rails; the paper reads the A15 rail each frame and multiplies average
 power by execution time to obtain per-frame energy.  This module reproduces
 that measurement path: a sampled, quantised, optionally noisy power sensor
 and an integrating energy meter built on top of it.
+
+Both components can keep a per-conversion history for debugging and
+plotting.  Recording is gated behind an opt-in ``record_history`` flag
+(default off): a campaign sweeps thousands of scenarios with thousands of
+frames each, and an always-on history grows by one record per frame for the
+lifetime of the run — unbounded memory for data almost no caller reads.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
+try:  # NumPy accelerates whole-trace measurement; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None  # type: ignore[assignment]
+
+from repro._compat import SLOTS
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class SensorReading:
     """One sample from a power sensor."""
 
@@ -40,12 +52,17 @@ class PowerSensor:
         Standard deviation of additive Gaussian measurement noise.
     seed:
         Seed for the noise generator, so simulations stay reproducible.
+    record_history:
+        When True every fresh conversion is appended to :attr:`history`.
+        Off by default — the history grows without bound (one entry per
+        simulated frame), which campaign runs cannot afford.
     """
 
     sample_period_s: float = 0.01
     resolution_w: float = 0.005
     noise_stddev_w: float = 0.0
     seed: Optional[int] = 0
+    record_history: bool = False
     _rng: random.Random = field(init=False, repr=False)
     _last_reading: Optional[SensorReading] = field(init=False, default=None)
     _history: List[SensorReading] = field(init=False, default_factory=list)
@@ -79,13 +96,68 @@ class PowerSensor:
         measured = max(0.0, measured)
         reading = SensorReading(timestamp_s=timestamp_s, power_w=measured)
         self._last_reading = reading
-        self._history.append(reading)
+        if self.record_history:
+            self._history.append(reading)
         return reading
 
+    def measure_trace(
+        self, true_powers_w: Sequence[float], timestamps_s: Sequence[float]
+    ) -> List[float]:
+        """Measure a whole trace of (power, timestamp) pairs, in order.
+
+        Semantically identical to calling :meth:`measure` once per pair;
+        the vectorised fast path uses it to step the sensor through a
+        pre-computed trace.  When no noise is configured, no previous
+        conversion is pending and every timestamp gap is at least one
+        sample period (so holdover can never trigger), the whole trace is
+        quantised in one NumPy pass — both NumPy and Python ``round`` use
+        round-half-even, so the readings are bit-identical to the scalar
+        loop.
+        """
+        if len(true_powers_w) != len(timestamps_s):
+            raise ValueError("true_powers_w and timestamps_s must have equal length")
+        if len(true_powers_w) == 0:  # len(), not truthiness: arrays are valid input
+            return []
+        if _np is not None and self.noise_stddev_w == 0 and self._last_reading is None:
+            powers = _np.asarray(true_powers_w, dtype=float)
+            times = _np.asarray(timestamps_s, dtype=float)
+            no_holdover = (
+                times.size < 2 or float(_np.diff(times).min()) >= self.sample_period_s
+            )
+            if no_holdover and float(powers.min()) >= 0:
+                measured = powers
+                if self.resolution_w > 0:
+                    measured = _np.round(measured / self.resolution_w) * self.resolution_w
+                measured = _np.maximum(measured, 0.0)
+                out = measured.tolist()
+                self._last_reading = SensorReading(
+                    timestamp_s=float(times[-1]), power_w=out[-1]
+                )
+                if self.record_history:
+                    self._history.extend(
+                        SensorReading(timestamp_s=t, power_w=p)
+                        for t, p in zip(times.tolist(), out)
+                    )
+                return out
+        return [
+            self.measure(power, timestamp).power_w
+            for power, timestamp in zip(true_powers_w, timestamps_s)
+        ]
+
     @property
-    def history(self) -> List[SensorReading]:
-        """All conversions performed so far."""
-        return list(self._history)
+    def history(self) -> Tuple[SensorReading, ...]:
+        """Recorded conversions (empty unless ``record_history`` is on)."""
+        return tuple(self._history)
+
+    @property
+    def history_len(self) -> int:
+        """Number of recorded conversions, without materialising a copy."""
+        return len(self._history)
+
+    @property
+    def last_reading(self) -> Optional[SensorReading]:
+        """The most recent conversion, or ``None`` before the first one."""
+        return self._last_reading
 
     def reset(self) -> None:
         """Forget all previous conversions."""
@@ -99,9 +171,17 @@ class EnergyMeter:
     The meter accepts exact (model-truth) power/duration pairs; it is used
     both for the ground-truth energy accounting of the simulator and, via a
     :class:`PowerSensor`, for the governor-visible measured energy.
+
+    Parameters
+    ----------
+    record_history:
+        When True each ``add_interval`` call is recorded in
+        :attr:`intervals`.  Off by default for the same unbounded-growth
+        reason as :class:`PowerSensor`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, record_history: bool = False) -> None:
+        self.record_history = record_history
         self._energy_j = 0.0
         self._elapsed_s = 0.0
         self._intervals: List[SensorReading] = []
@@ -111,7 +191,10 @@ class EnergyMeter:
         if power_w < 0 or duration_s < 0:
             raise ValueError("power and duration must be non-negative")
         self._energy_j += power_w * duration_s
-        self._intervals.append(SensorReading(timestamp_s=self._elapsed_s, power_w=power_w))
+        if self.record_history:
+            self._intervals.append(
+                SensorReading(timestamp_s=self._elapsed_s, power_w=power_w)
+            )
         self._elapsed_s += duration_s
 
     def add_energy(self, energy_j: float) -> None:
@@ -136,6 +219,11 @@ class EnergyMeter:
         if self._elapsed_s <= 0:
             return 0.0
         return self._energy_j / self._elapsed_s
+
+    @property
+    def intervals(self) -> Tuple[SensorReading, ...]:
+        """Recorded intervals (empty unless ``record_history`` is on)."""
+        return tuple(self._intervals)
 
     def reset(self) -> None:
         """Zero the meter."""

@@ -9,7 +9,8 @@ a first-class object here: governors select *indices* into a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_left
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, InvalidOperatingPointError
@@ -25,10 +26,17 @@ class OperatingPoint:
         Clock frequency of the cluster in hertz.
     voltage_v:
         Supply voltage in volts at this frequency.
+    seconds_per_cycle:
+        Precomputed ``1 / frequency_hz``.  Cycle-to-time conversion happens
+        once per core per frame in the simulator's inner loop, so the
+        reciprocal is hoisted here and :meth:`time_for_cycles` reduces to a
+        single multiply; the vectorised fast path uses the same constant so
+        both engines perform the identical IEEE operation.
     """
 
     frequency_hz: float
     voltage_v: float
+    seconds_per_cycle: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.frequency_hz <= 0:
@@ -39,6 +47,7 @@ class OperatingPoint:
             raise ConfigurationError(
                 f"operating point voltage must be positive, got {self.voltage_v}"
             )
+        object.__setattr__(self, "seconds_per_cycle", 1.0 / self.frequency_hz)
 
     @property
     def frequency_mhz(self) -> float:
@@ -53,7 +62,7 @@ class OperatingPoint:
         """Time in seconds to execute ``cycles`` CPU cycles at this frequency."""
         if cycles < 0:
             raise ValueError(f"cycle count must be non-negative, got {cycles}")
-        return cycles / self.frequency_hz
+        return cycles * self.seconds_per_cycle
 
 
 class VFTable:
@@ -78,6 +87,7 @@ class VFTable:
                     f"({lower} -> {upper})"
                 )
         self._points: Tuple[OperatingPoint, ...] = tuple(pts)
+        self._frequencies: List[float] = frequencies
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -113,7 +123,7 @@ class VFTable:
     @property
     def frequencies_hz(self) -> List[float]:
         """All frequencies in the table, ascending, in hertz."""
-        return [p.frequency_hz for p in self._points]
+        return list(self._frequencies)
 
     @property
     def min_point(self) -> OperatingPoint:
@@ -155,10 +165,29 @@ class VFTable:
         if deadline_s <= 0:
             raise ValueError(f"deadline must be positive, got {deadline_s}")
         required_hz = cycles / deadline_s
-        for index, point in enumerate(self._points):
-            if point.frequency_hz >= required_hz:
-                return index
-        return len(self) - 1
+        # First point with frequency >= required, by binary search (the
+        # table is sorted ascending); this runs once per frame per
+        # operating-point evaluation in the Oracle's schedule computation.
+        return min(bisect_left(self._frequencies, required_hz), len(self._points) - 1)
+
+    def lowest_indices_meeting(
+        self, cycles: Sequence[float], deadlines_s: Sequence[float]
+    ) -> List[int]:
+        """Vectorised :meth:`lowest_index_meeting` over parallel sequences.
+
+        Requires NumPy (raises ImportError without it); ``searchsorted`` with
+        ``side='left'`` performs the identical binary search per element, so
+        the returned indices are bit-identical to per-frame scalar calls.
+        """
+        import numpy as np
+
+        cycle_array = np.asarray(cycles, dtype=float)
+        deadline_array = np.asarray(deadlines_s, dtype=float)
+        if deadline_array.size and float(deadline_array.min()) <= 0:
+            raise ValueError("deadlines must be positive")
+        required_hz = cycle_array / deadline_array
+        indices = np.searchsorted(self._frequencies, required_hz, side="left")
+        return np.minimum(indices, len(self._points) - 1).tolist()
 
     def nearest_index_for_frequency(self, frequency_hz: float) -> int:
         """Index of the slowest point at least as fast as ``frequency_hz``.
@@ -167,10 +196,10 @@ class VFTable:
         returned; this mirrors cpufreq's ``CPUFREQ_RELATION_L`` rounding used
         by the ondemand governor.
         """
-        for index, point in enumerate(self._points):
-            if point.frequency_hz >= frequency_hz - 1e-6:
-                return index
-        return len(self) - 1
+        return min(
+            bisect_left(self._frequencies, frequency_hz - 1e-6),
+            len(self._points) - 1,
+        )
 
     def subset(self, indices: Sequence[int]) -> "VFTable":
         """Return a new table containing only the points at ``indices``."""

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
+from repro._compat import SLOTS
 from repro.errors import GovernorError
 from repro.platform.vf_table import VFTable
-from repro.workload.application import PerformanceRequirement
+from repro.workload.application import Application, PerformanceRequirement
 
 
 @dataclass(frozen=True)
@@ -48,7 +49,7 @@ class PlatformInfo:
         return self.vf_table.max_point.frequency_hz * reference_time_s
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class EpochObservation:
     """Everything a governor may observe about the epoch that just finished.
 
@@ -110,7 +111,7 @@ class EpochObservation:
         return self.busy_time_s <= self.reference_time_s + 1e-12
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class FrameHint:
     """Perfect knowledge of the upcoming frame.
 
@@ -184,6 +185,22 @@ class Governor(ABC):
             Perfect knowledge of the upcoming frame; only the Oracle may use
             it.
         """
+
+    # -- fast-path capability probe -------------------------------------------------
+    def static_schedule(self, application: Application) -> Optional[List[int]]:
+        """Per-frame operating-point indices, when they are knowable up front.
+
+        A governor whose decisions do not depend on run-time observations
+        (the pinned Linux policies, or the Oracle with its perfect per-frame
+        knowledge) can compute its entire schedule from the application
+        alone.  Returning that schedule lets the simulation engine replace
+        the frame-by-frame closed loop with the NumPy-vectorised trace
+        engine in :mod:`repro.sim.fastpath`.
+
+        Closed-loop governors must return ``None`` (the default), which
+        keeps them on the scalar engine.  Called after :meth:`setup`.
+        """
+        return None
 
     # -- optional reporting hooks -------------------------------------------------
     @property

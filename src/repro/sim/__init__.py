@@ -6,10 +6,15 @@ operation (Fig. 2a): at each epoch the governor observes the previous
 epoch's PMU and sensor data, chooses a V-F operating point, the platform
 executes the frame at that point, and the resulting time/energy feed the
 next decision.
+
+For governors whose decisions do not depend on run-time observations the
+engine transparently switches to the NumPy-vectorised trace engine in
+:mod:`repro.sim.fastpath` (see ``SimulationConfig.prefer_fast_path``).
 """
 
 from repro.sim.epoch import FrameRecord
 from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.fastpath import fast_path_eligible, simulate_schedule
 from repro.sim.results import SimulationResult
 from repro.sim.metrics import MetricsSummary, summarize_records, frequency_histogram
 from repro.sim.runner import ExperimentRunner, GovernorFactory
@@ -20,6 +25,8 @@ __all__ = [
     "SimulationConfig",
     "SimulationEngine",
     "SimulationResult",
+    "fast_path_eligible",
+    "simulate_schedule",
     "MetricsSummary",
     "summarize_records",
     "frequency_histogram",

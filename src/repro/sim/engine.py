@@ -14,6 +14,7 @@ from typing import Optional, Sequence, Tuple
 from repro.errors import SimulationError
 from repro.platform.cluster import Cluster
 from repro.rtm.governor import EpochObservation, FrameHint, Governor, PlatformInfo
+from repro.sim import fastpath
 from repro.sim.epoch import FrameRecord
 from repro.sim.results import SimulationResult
 from repro.workload.application import Application
@@ -39,11 +40,22 @@ class SimulationConfig:
     initial_operating_index:
         Operating-point index in force before the first decision; ``None``
         selects the fastest point (the after-boot default).
+    prefer_fast_path:
+        If True (default) the engine probes the governor with
+        :meth:`~repro.rtm.governor.Governor.static_schedule` and, when the
+        governor's decisions are observation-independent and the platform
+        is eligible (NumPy available, thermal model disabled), runs the
+        whole trace through the vectorised engine in
+        :mod:`repro.sim.fastpath` instead of the frame-by-frame loop.
+        Results agree with the scalar engine to ~1e-9 relative tolerance;
+        set False to force the scalar engine (e.g. for bit-exact
+        regression comparisons against archived scalar results).
     """
 
     idle_until_deadline: bool = True
     charge_governor_overhead: bool = True
     initial_operating_index: Optional[int] = None
+    prefer_fast_path: bool = True
 
 
 def _epoch_outputs(
@@ -97,6 +109,12 @@ class SimulationEngine:
     def __init__(self, cluster: Cluster, config: Optional[SimulationConfig] = None) -> None:
         self.cluster = cluster
         self.config = config or SimulationConfig()
+        self._last_used_fast_path = False
+
+    @property
+    def last_used_fast_path(self) -> bool:
+        """True when the most recent :meth:`run` took the vectorised fast path."""
+        return self._last_used_fast_path
 
     def platform_info(self) -> PlatformInfo:
         """Static platform description handed to governors at setup."""
@@ -131,6 +149,18 @@ class SimulationEngine:
             self.cluster.reset(config.initial_operating_index)
 
         governor.setup(self.platform_info(), application.requirement)
+
+        # Fast path: observation-independent governors on an eligible
+        # platform skip the closed loop entirely and run vectorised.
+        self._last_used_fast_path = False
+        if config.prefer_fast_path and fastpath.fast_path_eligible(self.cluster):
+            schedule = governor.static_schedule(application)
+            if schedule is not None:
+                result = fastpath.simulate_schedule(
+                    self.cluster, application, governor, config, schedule
+                )
+                self._last_used_fast_path = True
+                return result
 
         result = SimulationResult(
             governor_name=governor.name,

@@ -5,8 +5,10 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Mapping, Tuple
 
+from repro._compat import SLOTS
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **SLOTS)
 class FrameRecord:
     """Everything measured about one decision epoch of a simulation run.
 

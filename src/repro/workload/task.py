@@ -70,6 +70,11 @@ class Frame:
         """
         if num_cores <= 0:
             raise WorkloadError(f"num_cores must be positive, got {num_cores}")
+        if len(self.thread_cycles) == num_cores:
+            # Identity mapping (the common case: one thread per core) — the
+            # stored tuple already is the per-core demand vector.  This runs
+            # once or twice per frame in the simulator's hot loop.
+            return self.thread_cycles
         per_core = [0.0] * num_cores
         for thread_index, cycles in enumerate(self.thread_cycles):
             per_core[thread_index % num_cores] += cycles

@@ -101,11 +101,30 @@ class TestPowerSensor:
         with pytest.raises(ConfigurationError):
             PowerSensor(resolution_w=-0.1)
 
-    def test_reset_clears_history(self):
+    def test_history_recording_is_opt_in(self):
+        # Default off: measurements do not accumulate history (memory growth
+        # is unbounded over a campaign otherwise).
         sensor = PowerSensor()
+        for t in range(5):
+            sensor.measure(1.0, t * 0.02)
+        assert sensor.history_len == 0
+        assert sensor.history == ()
+        assert sensor.last_reading is not None
+
+        recording = PowerSensor(record_history=True)
+        for t in range(5):
+            recording.measure(1.0, t * 0.02)
+        assert recording.history_len == 5
+        assert isinstance(recording.history, tuple)
+
+    def test_reset_clears_history(self):
+        sensor = PowerSensor(record_history=True)
         sensor.measure(1.0, 0.0)
+        assert sensor.history_len == 1
         sensor.reset()
-        assert sensor.history == []
+        assert sensor.history == ()
+        assert sensor.history_len == 0
+        assert sensor.last_reading is None
 
 
 class TestEnergyMeter:
