@@ -27,7 +27,7 @@ def _run_ablation(settings, name, governors, seed=19):
         cluster=settings.cluster_spec(),
         seeds=(seed,),
     )
-    return settings.make_executor().run(campaign).results()
+    return settings.run_campaign(campaign).results()
 
 
 def test_ablation_state_levels(benchmark, quick_settings):

@@ -1,0 +1,50 @@
+"""Generate the small campaign spec used by CI's sharded-campaign smoke job.
+
+The CI workflow runs this grid twice as ``repro-campaign --shard 0/2`` /
+``--shard 1/2`` matrix jobs, merges the shard outputs with
+``repro-campaign merge``, and asserts the merged store equals an unsharded
+run — the end-to-end proof that sharding + merge reconstruct the exact
+campaign result.  Generating the spec from the live
+:class:`~repro.sim.engine.SimulationConfig` (instead of committing a JSON
+file) keeps it from drifting when config fields change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/make_smoke_campaign.py --output spec.json
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.campaign import CampaignSpec, FactorySpec
+
+
+def build_smoke_campaign(num_frames: int = 120) -> CampaignSpec:
+    """A 2 applications x 2 governors grid — small, fast, deterministic."""
+    return CampaignSpec.from_grid(
+        "ci-smoke",
+        applications={
+            "mpeg4": FactorySpec.of("mpeg4", num_frames=num_frames),
+            "fft": FactorySpec.of("fft", num_frames=num_frames),
+        },
+        governors={
+            "ondemand": FactorySpec.of("ondemand"),
+            "oracle": FactorySpec.of("oracle"),
+        },
+        seeds=(11,),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="smoke_campaign.json", help="spec destination")
+    parser.add_argument("--frames", type=int, default=120, help="frames per scenario")
+    args = parser.parse_args()
+    campaign = build_smoke_campaign(num_frames=args.frames)
+    campaign.save(args.output)
+    print(f"wrote {args.output}: {len(campaign)} scenarios ({', '.join(campaign.labels)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,8 @@ from repro.campaign import (
     CampaignResult,
     ScenarioOutcome,
     CampaignExecutor,
+    CampaignInterrupted,
+    RetryPolicy,
     run_campaign,
     register_application,
     register_governor,
@@ -130,6 +132,8 @@ __all__ = [
     "CampaignResult",
     "ScenarioOutcome",
     "CampaignExecutor",
+    "CampaignInterrupted",
+    "RetryPolicy",
     "run_campaign",
     "register_application",
     "register_governor",

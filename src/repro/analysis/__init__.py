@@ -8,7 +8,11 @@ from repro.analysis.stats import (
     windowed_mean,
     misprediction_percent,
 )
-from repro.analysis.reporting import format_table, format_comparison_rows
+from repro.analysis.reporting import (
+    format_table,
+    format_comparison_rows,
+    format_campaign_summary,
+)
 
 __all__ = [
     "mean",
@@ -19,4 +23,5 @@ __all__ = [
     "misprediction_percent",
     "format_table",
     "format_comparison_rows",
+    "format_campaign_summary",
 ]

@@ -6,9 +6,12 @@ paper's tables, so a user can eyeball paper-vs-reproduction side by side.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence
 
 from repro.sim.comparison import ComparisonRow
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (campaign -> analysis)
+    from repro.campaign.results import CampaignResult
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
@@ -49,3 +52,43 @@ def format_comparison_rows(rows: Sequence[ComparisonRow], title: str = "") -> st
         ],
         title=title,
     )
+
+
+def format_campaign_summary(store: "CampaignResult", title: str = "") -> str:
+    """Render a campaign result store as a failure-aware ASCII table.
+
+    ``done`` scenarios show their headline metrics; ``failed`` ones show
+    the captured error (first line, truncated) in place of numbers, plus
+    the attempt count — so a partially failed campaign reads at a glance.
+    A done/failed tally follows the table.
+    """
+    rows: List[Sequence[str]] = []
+    for outcome in store:
+        if outcome.ok and outcome.result is not None:
+            result = outcome.result
+            rows.append(
+                (
+                    outcome.label,
+                    outcome.status,
+                    f"{result.total_energy_j:.2f}",
+                    f"{result.normalized_performance:.2f}",
+                    f"{result.deadline_miss_ratio:.1%}",
+                    str(outcome.attempts),
+                    "",
+                )
+            )
+        else:
+            error = (outcome.error or "unknown error").splitlines()[0]
+            if len(error) > 60:
+                error = error[:57] + "..."
+            rows.append(
+                (outcome.label, outcome.status, "-", "-", "-", str(outcome.attempts), error)
+            )
+    table = format_table(
+        headers=["Scenario", "Status", "Energy (J)", "Norm. perf", "Miss", "Attempts", "Error"],
+        rows=rows,
+        title=title or f"campaign {store.campaign_name!r}",
+    )
+    done, failed = len(store.done()), len(store.failed())
+    tally = f"{done} done, {failed} failed of {len(store)} scenarios"
+    return f"{table}\n{tally}"

@@ -9,12 +9,16 @@ call:
 * :mod:`repro.campaign.registry` — the name -> factory registries that
   resolve spec component names (extensible via ``register_*``);
 * :mod:`repro.campaign.executor` — :class:`CampaignExecutor` with serial
-  and process-pool backends, deterministic result ordering, and
-  resume-by-skipping-completed-scenarios;
+  and process-pool backends, deterministic result ordering, per-scenario
+  retries (:class:`RetryPolicy`), incremental atomic checkpointing, and
+  resume that skips ``done`` scenarios while re-running ``failed`` ones;
 * :mod:`repro.campaign.results` — the :class:`CampaignResult` store with
-  JSON round-trip persistence, feeding the existing
-  :func:`~repro.sim.comparison.compare_to_oracle` analysis unchanged;
-* :mod:`repro.campaign.cli` — the ``repro-campaign`` console entry point.
+  per-scenario status (``done``/``failed`` + captured traceback), JSON
+  round-trip persistence and shard-store :meth:`~CampaignResult.merge`,
+  feeding the existing :func:`~repro.sim.comparison.compare_to_oracle`
+  analysis unchanged;
+* :mod:`repro.campaign.cli` — the ``repro-campaign`` console entry point
+  (run, ``--shard I/N``, and the ``merge`` subcommand).
 
 Quickstart
 ----------
@@ -46,14 +50,22 @@ from repro.campaign.registry import (
     register_probe,
     registered_names,
 )
-from repro.campaign.results import CampaignResult, ScenarioOutcome
+from repro.campaign.results import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    CampaignResult,
+    ScenarioOutcome,
+)
 from repro.campaign.executor import (
     BACKENDS,
     CampaignExecutor,
+    CampaignInterrupted,
     ProcessPoolBackend,
+    RetryPolicy,
     SerialBackend,
     run_campaign,
     run_scenario,
+    run_scenario_safely,
 )
 
 __all__ = [
@@ -63,12 +75,17 @@ __all__ = [
     "DEFAULT_CLUSTER",
     "CampaignResult",
     "ScenarioOutcome",
+    "STATUS_DONE",
+    "STATUS_FAILED",
     "CampaignExecutor",
+    "CampaignInterrupted",
+    "RetryPolicy",
     "SerialBackend",
     "ProcessPoolBackend",
     "BACKENDS",
     "run_campaign",
     "run_scenario",
+    "run_scenario_safely",
     "register_application",
     "register_governor",
     "register_cluster",

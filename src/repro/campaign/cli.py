@@ -1,15 +1,25 @@
-"""``repro-campaign`` — run a campaign spec from JSON on any backend.
+"""``repro-campaign`` — run and merge campaign result stores from the shell.
 
 Usage::
 
     repro-campaign spec.json --backend process --workers 4 --output results.json
     repro-campaign spec.json --resume results.json --output results.json
+    repro-campaign spec.json --checkpoint ckpt.json --checkpoint-every 5 --retries 2
+    repro-campaign spec.json --shard 0/2 --output shard0.json
+    repro-campaign merge shard0.json shard1.json --spec spec.json --output merged.json
     repro-campaign --list
 
 The spec file is a :class:`~repro.campaign.spec.CampaignSpec` JSON document
 (``CampaignSpec.save`` writes one).  With ``--resume``, scenarios already
-present in the given results file are skipped; with ``--output``, the full
-result store is written back as JSON for later analysis or further resume.
+``done`` in the given results file are skipped (``failed`` ones re-run);
+``--checkpoint`` additionally rewrites the store atomically every
+``--checkpoint-every`` completions — and on Ctrl-C — so a crashed or killed
+campaign resumes from its last checkpoint instead of starting over (an
+existing checkpoint file is picked up automatically).  ``--shard I/N`` runs
+the deterministic 1/N slice of the campaign; the ``merge`` subcommand
+unions shard result files back into the store an unsharded run would
+produce (pass ``--spec`` to verify completeness and restore campaign
+order).
 """
 
 from __future__ import annotations
@@ -17,13 +27,28 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.campaign.executor import BACKENDS, CampaignExecutor
-from repro.errors import ConfigurationError
+from repro.analysis.reporting import format_campaign_summary
+from repro.campaign.executor import (
+    BACKENDS,
+    CampaignExecutor,
+    CampaignInterrupted,
+    RetryPolicy,
+)
+from repro.errors import ConfigurationError, ReproError
 from repro.campaign.registry import registered_names
 from repro.campaign.results import CampaignResult
 from repro.campaign.spec import CampaignSpec
+
+#: Everything spec/results parsing+validation can raise: I/O and JSON errors,
+#: missing keys, spec validation, unexpected fields.
+LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError, ConfigurationError)
+
+#: Exit codes: hard usage/configuration error vs completed-with-failures.
+EXIT_USAGE = 2
+EXIT_FAILED_SCENARIOS = 1
+EXIT_INTERRUPTED = 130
 
 
 def _print_registries() -> None:
@@ -33,19 +58,39 @@ def _print_registries() -> None:
             print(f"  {name}")
 
 
-def _summarise(store: CampaignResult) -> str:
-    lines = [f"campaign {store.campaign_name!r}: {len(store)} scenarios"]
-    for outcome in store:
-        result = outcome.result
-        lines.append(
-            f"  {outcome.label:32s} energy={result.total_energy_j:9.2f} J  "
-            f"perf={result.normalized_performance:5.2f}  "
-            f"miss={result.deadline_miss_ratio:6.1%}"
-        )
-    return "\n".join(lines)
+def _parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``I/N`` shard selector into ``(index, count)``."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"--shard expects INDEX/COUNT (e.g. 0/2), got {text!r}"
+        ) from None
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _load_resume_stores(
+    resume_path: Optional[str], checkpoint_path: Optional[str]
+) -> Optional[CampaignResult]:
+    """Combine ``--resume`` and an existing ``--checkpoint`` file into one store."""
+    stores: List[CampaignResult] = []
+    if resume_path:
+        stores.append(CampaignResult.load(resume_path))
+    if checkpoint_path:
+        try:
+            stores.append(CampaignResult.load(checkpoint_path))
+        except FileNotFoundError:
+            pass  # first run: the checkpoint file does not exist yet
+    if not stores:
+        return None
+    combined = CampaignResult(campaign_name=stores[0].campaign_name)
+    for store in stores:
+        for outcome in store:
+            combined.add(outcome)
+    return combined
+
+
+def _run_main(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(prog="repro-campaign", description=__doc__)
     parser.add_argument("spec", nargs="?", help="path to a CampaignSpec JSON file")
     parser.add_argument(
@@ -60,7 +105,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--resume",
         default=None,
-        help="results JSON file whose completed scenarios are skipped",
+        help="results JSON file whose done scenarios are skipped (failed ones re-run)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="atomically rewrite the (partial) store to this file as scenarios "
+        "complete; an existing file is resumed from automatically",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="completions between checkpoint writes (default 10)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a crashing scenario up to this many extra times before "
+        "recording it as failed",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only the deterministic 1/N slice I of the campaign "
+        "(merge the shard outputs with the merge subcommand)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list registered factories and exit"
@@ -76,26 +148,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not arguments.spec:
         parser.error("a campaign spec file is required (or use --list)")
 
-    #: Everything spec parsing/validation can raise: I/O and JSON errors,
-    #: missing keys, CampaignSpec/ScenarioSpec validation, unexpected fields.
-    load_errors = (OSError, ValueError, KeyError, TypeError, ConfigurationError)
     try:
         campaign = CampaignSpec.load(arguments.spec)
-    except load_errors as exc:
+    except LOAD_ERRORS as exc:
         print(f"repro-campaign: cannot load campaign spec {arguments.spec!r}: {exc}",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
-        resume = CampaignResult.load(arguments.resume) if arguments.resume else None
-    except load_errors as exc:
-        print(f"repro-campaign: cannot load resume file {arguments.resume!r}: {exc}",
-              file=sys.stderr)
-        return 2
+        if arguments.shard:
+            shard_index, shard_count = _parse_shard(arguments.shard)
+            campaign = campaign.shard(shard_index, shard_count)
+        resume = _load_resume_stores(arguments.resume, arguments.checkpoint)
+    except LOAD_ERRORS as exc:
+        print(f"repro-campaign: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     try:
-        executor = CampaignExecutor(backend=arguments.backend, max_workers=arguments.workers)
+        executor = CampaignExecutor(
+            backend=arguments.backend,
+            max_workers=arguments.workers,
+            retry=RetryPolicy(max_attempts=arguments.retries + 1),
+        )
     except ConfigurationError as exc:
         print(f"repro-campaign: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     def progress(label: str, done: int, total: int) -> None:
         if not arguments.quiet:
@@ -103,23 +178,91 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     started = time.perf_counter()
     try:
-        store = executor.run(campaign, resume=resume, progress=progress)
+        store = executor.run(
+            campaign,
+            resume=resume,
+            progress=progress,
+            checkpoint_path=arguments.checkpoint,
+            checkpoint_every=arguments.checkpoint_every,
+        )
+    except CampaignInterrupted as interrupted:
+        # Never lose completed work on Ctrl-C: the executor already saved
+        # the checkpoint (if one was configured); otherwise persist the
+        # partial store to --output so the run can be resumed from it.
+        print(f"repro-campaign: {interrupted}", file=sys.stderr)
+        if interrupted.checkpoint_path is None and arguments.output:
+            interrupted.partial.save(arguments.output)
+            print(
+                f"repro-campaign: partial results saved to {arguments.output}",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
     except ConfigurationError as exc:
-        # Typically an unregistered application/governor/probe name in the
-        # spec (possibly re-raised from a pool worker).
         print(f"repro-campaign: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     elapsed = time.perf_counter() - started
 
     # Persist before printing: a broken stdout pipe (e.g. `| head`) must not
     # lose the results of a long campaign.
     if arguments.output:
         store.save(arguments.output)
-    print(_summarise(store))
+    print(format_campaign_summary(store))
     print(f"completed in {elapsed:.1f} s on the {arguments.backend!r} backend")
     if arguments.output:
         print(f"results written to {arguments.output}")
-    return 0
+    return EXIT_FAILED_SCENARIOS if store.failed() else 0
+
+
+def _merge_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign merge",
+        description="Union shard result files by scenario id (conflict = error).",
+    )
+    parser.add_argument("stores", nargs="+", help="shard result JSON files to merge")
+    parser.add_argument(
+        "--output", required=True, help="write the merged store to this JSON file"
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="campaign spec JSON; when given, the merged store is verified "
+        "complete and re-ordered to campaign order (bit-identical to an "
+        "unsharded run)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the merged-store summary"
+    )
+    arguments = parser.parse_args(argv)
+
+    try:
+        stores = [CampaignResult.load(path) for path in arguments.stores]
+    except LOAD_ERRORS as exc:
+        print(f"repro-campaign merge: cannot load result store: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        merged = CampaignResult.merge(stores)
+        if arguments.spec:
+            campaign = CampaignSpec.load(arguments.spec)
+            merged = merged.ordered_for(campaign)
+    except (ReproError,) + LOAD_ERRORS as exc:
+        print(f"repro-campaign merge: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    merged.save(arguments.output)
+    if not arguments.quiet:
+        print(format_campaign_summary(merged))
+    print(
+        f"merged {len(arguments.stores)} store(s), {len(merged)} scenarios "
+        f"-> {arguments.output}"
+    )
+    return EXIT_FAILED_SCENARIOS if merged.failed() else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "merge":
+        return _merge_main(arguments[1:])
+    return _run_main(arguments)
 
 
 if __name__ == "__main__":

@@ -1,24 +1,34 @@
-"""Campaign execution: serial and process-pool backends.
+"""Campaign execution: fault-tolerant serial and process-pool backends.
 
 The unit of work is :func:`run_scenario` — a module-level function so the
 process-pool backend can pickle it.  Each invocation builds its *own*
 cluster from the scenario spec: clusters are stateful (meters, PMU, thermal
 and DVFS history) and must never be shared between concurrent runs.
 
-Both backends return outcomes in campaign order — the process pool maps
-scenarios with order-preserving :meth:`~concurrent.futures.Executor.map` —
-and every scenario is fully determined by its spec (workload seed, governor
-config seed, cluster seed), so a parallel run is bit-identical to a serial
-run of the same campaign.
+Fault tolerance: backends execute scenarios through
+:func:`run_scenario_safely`, which converts an exception on the final
+allowed attempt into a ``failed`` :class:`ScenarioOutcome` (error message +
+traceback captured) instead of letting it abort the campaign, and honours
+the executor's :class:`RetryPolicy` in between.  Backends yield
+``(index, outcome)`` pairs in *completion* order so the executor can
+checkpoint incrementally — a slow early scenario never blocks persistence
+of the work completing behind it — while the externally returned
+:class:`CampaignResult` is re-ordered to campaign order, keeping a parallel
+run bit-identical to a serial run of the same campaign (every scenario is
+fully determined by its spec: workload seed, governor config seed, cluster
+seed).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence
+import time
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.campaign import registry
 from repro.campaign.results import CampaignResult, ScenarioOutcome
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
@@ -27,13 +37,67 @@ from repro.sim.engine import SimulationEngine
 #: Optional per-scenario completion callback (label, index, total).
 ProgressCallback = Callable[[str, int, int], None]
 
+#: A backend's stream of results: (index into the submitted sequence, outcome),
+#: yielded in completion order.
+IndexedOutcomes = Iterable[Tuple[int, ScenarioOutcome]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times the executor may run each scenario.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total executions allowed per scenario (1 = no retries).  Only the
+        final attempt's exception is recorded in a failed outcome.
+    backoff_s:
+        Seconds slept between attempts (0 = retry immediately).
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(f"backoff_s must be >= 0, got {self.backoff_s}")
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign run was interrupted (Ctrl-C) after completing some scenarios.
+
+    Carries the partial result store so callers can persist it; when the
+    executor was given a checkpoint path the store has already been saved
+    there before this exception was raised.
+    """
+
+    def __init__(
+        self,
+        campaign: CampaignSpec,
+        partial: CampaignResult,
+        checkpoint_path: Optional[str] = None,
+    ) -> None:
+        self.campaign = campaign
+        self.partial = partial
+        self.checkpoint_path = checkpoint_path
+        saved = f" (checkpoint saved to {checkpoint_path})" if checkpoint_path else ""
+        super().__init__(
+            f"campaign {campaign.name!r} interrupted after "
+            f"{len(partial)}/{len(campaign)} scenarios{saved}"
+        )
+
 
 def run_scenario(scenario: ScenarioSpec) -> ScenarioOutcome:
-    """Execute one scenario from scratch and return its outcome.
+    """Execute one scenario from scratch and return its (``done``) outcome.
 
     Builds a fresh cluster, application and governor from the scenario's
     named factories, runs the closed-loop simulation, then applies the
-    scenario's probe (if any) while the governor is still live.
+    scenario's probe (if any) while the governor is still live.  Exceptions
+    propagate — use :func:`run_scenario_safely` to record them instead.
 
     Scenarios whose governor exposes a static schedule (the pinned Linux
     policies and the Oracle) automatically run on the vectorised fast path
@@ -59,23 +123,64 @@ def run_scenario(scenario: ScenarioSpec) -> ScenarioOutcome:
     return ScenarioOutcome(scenario=scenario, result=result, probe=probe_data)
 
 
+def run_scenario_safely(
+    scenario: ScenarioSpec, max_attempts: int = 1, backoff_s: float = 0.0
+) -> ScenarioOutcome:
+    """Execute one scenario, converting failure into a ``failed`` outcome.
+
+    Runs :func:`run_scenario` up to ``max_attempts`` times.  The first
+    successful attempt wins (its outcome is stamped with the attempt
+    count); if every attempt raises, the final exception's message and
+    traceback are captured in a ``failed`` outcome so the campaign records
+    the crash instead of dying from it.  ``KeyboardInterrupt`` (and other
+    non-``Exception`` interrupts) still propagate.
+    """
+    for attempt in range(1, max_attempts + 1):
+        try:
+            outcome = run_scenario(scenario)
+        except Exception as exc:  # noqa: BLE001 — the whole point is to record it
+            if attempt >= max_attempts:
+                return ScenarioOutcome.failure(
+                    scenario,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback_text=traceback_module.format_exc(),
+                    attempts=attempt,
+                )
+            if backoff_s > 0:
+                time.sleep(backoff_s)
+        else:
+            if attempt > 1:
+                outcome = ScenarioOutcome(
+                    scenario=outcome.scenario,
+                    result=outcome.result,
+                    probe=outcome.probe,
+                    attempts=attempt,
+                )
+            return outcome
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 class SerialBackend:
     """Runs scenarios one after another in the calling process."""
 
     name = "serial"
 
-    def map(self, scenarios: Sequence[ScenarioSpec]) -> Iterable[ScenarioOutcome]:
-        for scenario in scenarios:
-            yield run_scenario(scenario)
+    def run_unordered(
+        self, scenarios: Sequence[ScenarioSpec], retry: RetryPolicy
+    ) -> Iterator[Tuple[int, ScenarioOutcome]]:
+        for index, scenario in enumerate(scenarios):
+            yield index, run_scenario_safely(
+                scenario, retry.max_attempts, retry.backoff_s
+            )
 
 
 class ProcessPoolBackend:
     """Runs scenarios concurrently on a :class:`ProcessPoolExecutor`.
 
     ``max_workers`` defaults to the machine's CPU count capped by the
-    number of scenarios.  Results are yielded in submission order
-    regardless of completion order, so output is identical to the serial
-    backend.
+    number of scenarios.  Outcomes are yielded in *completion* order (the
+    executor re-orders them), so incremental checkpoints are never held up
+    by a slow early scenario; retries happen inside the worker process.
     """
 
     name = "process"
@@ -85,14 +190,32 @@ class ProcessPoolBackend:
             raise ConfigurationError("max_workers must be a positive integer")
         self.max_workers = max_workers
 
-    def map(self, scenarios: Sequence[ScenarioSpec]) -> Iterable[ScenarioOutcome]:
+    def run_unordered(
+        self, scenarios: Sequence[ScenarioSpec], retry: RetryPolicy
+    ) -> Iterator[Tuple[int, ScenarioOutcome]]:
         if not scenarios:
             return
         workers = self.max_workers or min(len(scenarios), os.cpu_count() or 1)
         workers = min(workers, len(scenarios))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for outcome in pool.map(run_scenario, scenarios):
-                yield outcome
+            futures = {
+                pool.submit(
+                    run_scenario_safely, scenario, retry.max_attempts, retry.backoff_s
+                ): index
+                for index, scenario in enumerate(scenarios)
+            }
+            try:
+                remaining = set(futures)
+                while remaining:
+                    completed, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in completed:
+                        yield futures[future], future.result()
+            except BaseException:
+                # Run abandoned — GeneratorExit from the consumer, Ctrl-C
+                # landing in wait(), or a broken pool: drop the queued
+                # scenarios instead of draining them during pool shutdown.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
 
 
 #: Backend registry used by :class:`CampaignExecutor` and the CLI.
@@ -109,18 +232,26 @@ def make_backend(backend: str, max_workers: Optional[int] = None):
 
 
 class CampaignExecutor:
-    """Runs campaigns on a pluggable backend with resume support."""
+    """Runs campaigns on a pluggable backend with resume and checkpointing."""
 
-    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.backend = make_backend(backend, max_workers)
+        self.retry = retry or RetryPolicy()
 
     def run(
         self,
         campaign: CampaignSpec,
         resume: Optional[CampaignResult] = None,
         progress: Optional[ProgressCallback] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 10,
     ) -> CampaignResult:
-        """Execute every scenario of ``campaign`` not already in ``resume``.
+        """Execute every scenario of ``campaign`` still pending in ``resume``.
 
         Parameters
         ----------
@@ -128,28 +259,61 @@ class CampaignExecutor:
             The campaign to run.
         resume:
             A previously saved (possibly partial) result store; scenarios
-            whose id it already contains are skipped and their stored
-            outcomes carried over.
+            it already records as ``done`` are skipped and their stored
+            outcomes carried over, while ``failed`` ones are re-run.
         progress:
             Optional callback invoked after each newly executed scenario
             with ``(label, completed_count, total_pending)``.
+        checkpoint_path:
+            When given, the (partial) store is atomically rewritten to this
+            path every ``checkpoint_every`` completions, once more on
+            ``KeyboardInterrupt`` (which is re-raised as
+            :class:`CampaignInterrupted` carrying the partial store), and a
+            final time with the completed, campaign-ordered store.
+        checkpoint_every:
+            Completion interval between checkpoint writes (>= 1).  Each
+            write re-serializes the whole store, so very small intervals
+            on large campaigns trade meaningful I/O for crash-window size
+            (the default rewrites every 10 completions).
 
         Returns
         -------
         CampaignResult
             A store with one outcome per campaign scenario, in the
-            campaign's scenario order.
+            campaign's scenario order — bit-identical across backends and
+            across interrupted-then-resumed runs.
         """
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         store = CampaignResult(campaign_name=campaign.name)
         if resume is not None:
             for outcome in resume:
                 store.add(outcome)
         pending: List[ScenarioSpec] = store.pending(campaign)
-        for index, outcome in enumerate(self.backend.map(pending)):
-            store.add(outcome)
-            if progress is not None:
-                progress(outcome.label, index + 1, len(pending))
-        return store.ordered_for(campaign)
+        completed = 0
+        try:
+            for _, outcome in self.backend.run_unordered(pending, self.retry):
+                store.add(outcome)
+                completed += 1
+                if progress is not None:
+                    progress(outcome.label, completed, len(pending))
+                if checkpoint_path is not None and completed % checkpoint_every == 0:
+                    store.save(checkpoint_path)
+        except BaseException as exc:
+            # Emergency checkpoint: whatever killed the run — Ctrl-C, a
+            # broken worker pool, a crashing progress callback — the work
+            # completed since the last periodic write must survive.
+            if checkpoint_path is not None:
+                store.save(checkpoint_path)
+            if isinstance(exc, KeyboardInterrupt):
+                raise CampaignInterrupted(campaign, store, checkpoint_path) from exc
+            raise
+        ordered = store.ordered_for(campaign)
+        if checkpoint_path is not None:
+            ordered.save(checkpoint_path)
+        return ordered
 
 
 def run_campaign(
@@ -157,8 +321,14 @@ def run_campaign(
     backend: str = "serial",
     max_workers: Optional[int] = None,
     resume: Optional[CampaignResult] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 10,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignExecutor`."""
-    return CampaignExecutor(backend=backend, max_workers=max_workers).run(
-        campaign, resume=resume
+    return CampaignExecutor(backend=backend, max_workers=max_workers, retry=retry).run(
+        campaign,
+        resume=resume,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
     )

@@ -1,35 +1,108 @@
 """Campaign result store: ordered scenario outcomes with persistence.
 
 A :class:`CampaignResult` aggregates one :class:`ScenarioOutcome` per
-completed scenario, keyed by the scenario's content hash.  It round-trips
-through JSON so long campaigns can checkpoint to disk and *resume*: the
-executor skips any scenario whose id is already present in the store it
-was handed.
+executed scenario, keyed by the scenario's content hash.  Outcomes carry an
+explicit status — ``"done"`` for a scenario that produced a simulation
+result, ``"failed"`` for one whose execution raised (the error message and
+traceback text are captured in the outcome instead of killing the
+campaign) — plus the number of attempts the executor spent on it.
+
+The store round-trips through JSON so long campaigns can checkpoint to
+disk and *resume*: the executor skips any scenario whose stored outcome is
+``done`` and re-runs the ``failed`` ones.  :meth:`CampaignResult.save` is
+atomic (write-temp + ``os.replace``), so a crash mid-checkpoint can never
+truncate a previously good store.  Disjoint stores of the same campaign —
+e.g. the per-shard result files of a :meth:`CampaignSpec.shard` split —
+recombine with :meth:`CampaignResult.merge`.
 
 The store feeds the existing analysis layer unchanged —
 :meth:`CampaignResult.results` returns the plain ``label ->
-SimulationResult`` mapping that :func:`repro.sim.comparison.compare_to_oracle`
-and the Table-I normalisation consume.
+SimulationResult`` mapping (``done`` outcomes only) that
+:func:`repro.sim.comparison.compare_to_oracle` and the Table-I
+normalisation consume.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
 from repro.sim.results import SimulationResult
+
+#: Status of a scenario that ran to completion and has a simulation result.
+STATUS_DONE = "done"
+#: Status of a scenario whose execution raised on every allowed attempt.
+STATUS_FAILED = "failed"
 
 
 @dataclass(frozen=True)
 class ScenarioOutcome:
-    """One completed scenario: its spec, its simulation result, its probe data."""
+    """One executed scenario: its spec, its result (or captured failure).
+
+    Attributes
+    ----------
+    scenario:
+        The spec that was executed.
+    result:
+        The simulation result; ``None`` when the scenario failed.
+    probe:
+        Optional probe payload (``done`` scenarios only).
+    status:
+        ``"done"`` or ``"failed"``.
+    error:
+        ``"ExceptionType: message"`` of the last attempt's exception, for
+        failed scenarios.
+    traceback:
+        Full traceback text of the last attempt's exception, for failed
+        scenarios.
+    attempts:
+        How many executions the scenario consumed (> 1 when a retry policy
+        re-ran it).
+    """
 
     scenario: ScenarioSpec
-    result: SimulationResult
+    result: Optional[SimulationResult]
     probe: Optional[Dict[str, Any]] = None
+    status: str = STATUS_DONE
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.status not in (STATUS_DONE, STATUS_FAILED):
+            raise SimulationError(
+                f"scenario outcome status must be {STATUS_DONE!r} or {STATUS_FAILED!r}, "
+                f"got {self.status!r}"
+            )
+        if self.status == STATUS_DONE and self.result is None:
+            raise SimulationError(f"done outcome for {self.scenario.label!r} has no result")
+
+    @classmethod
+    def failure(
+        cls,
+        scenario: ScenarioSpec,
+        error: str,
+        traceback_text: str,
+        attempts: int = 1,
+    ) -> "ScenarioOutcome":
+        """Build the record of a scenario that raised on its final attempt."""
+        return cls(
+            scenario=scenario,
+            result=None,
+            status=STATUS_FAILED,
+            error=error,
+            traceback=traceback_text,
+            attempts=attempts,
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario completed with a result."""
+        return self.status == STATUS_DONE
 
     @property
     def scenario_id(self) -> str:
@@ -44,18 +117,30 @@ class ScenarioOutcome:
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
             "scenario": self.scenario.to_dict(),
-            "result": self.result.to_dict(),
+            "status": self.status,
+            "attempts": self.attempts,
         }
+        if self.result is not None:
+            data["result"] = self.result.to_dict()
         if self.probe is not None:
             data["probe"] = self.probe
+        if self.error is not None:
+            data["error"] = self.error
+        if self.traceback is not None:
+            data["traceback"] = self.traceback
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioOutcome":
+        result = data.get("result")
         return cls(
             scenario=ScenarioSpec.from_dict(data["scenario"]),
-            result=SimulationResult.from_dict(data["result"]),
+            result=SimulationResult.from_dict(result) if result is not None else None,
             probe=data.get("probe"),
+            status=data.get("status", STATUS_DONE),
+            error=data.get("error"),
+            traceback=data.get("traceback"),
+            attempts=data.get("attempts", 1),
         )
 
 
@@ -93,13 +178,41 @@ class CampaignResult:
         return self.outcome(label).result
 
     def results(self) -> Dict[str, SimulationResult]:
-        """``label -> SimulationResult`` in campaign order.
+        """``label -> SimulationResult`` of the ``done`` outcomes, in campaign order.
 
         This is the mapping the pre-campaign analysis helpers
         (:func:`~repro.sim.comparison.compare_to_oracle`,
         :func:`~repro.sim.comparison.pairwise_energy_saving`) consume.
+        Failed scenarios have no simulation result and are omitted; call
+        :meth:`raise_on_failures` first to insist on a fully clean store.
         """
-        return {outcome.label: outcome.result for outcome in self.outcomes.values()}
+        return {
+            outcome.label: outcome.result
+            for outcome in self.outcomes.values()
+            if outcome.ok and outcome.result is not None
+        }
+
+    def done(self) -> List[ScenarioOutcome]:
+        """The outcomes that completed with a result, in campaign order."""
+        return [outcome for outcome in self.outcomes.values() if outcome.ok]
+
+    def failed(self) -> List[ScenarioOutcome]:
+        """The outcomes recorded as failed, in campaign order."""
+        return [outcome for outcome in self.outcomes.values() if not outcome.ok]
+
+    def raise_on_failures(self) -> None:
+        """Raise :class:`SimulationError` if any stored outcome failed."""
+        failures = self.failed()
+        if failures:
+            detail = "; ".join(
+                f"{outcome.label!r}: {outcome.error}" for outcome in failures[:5]
+            )
+            if len(failures) > 5:
+                detail += f"; ... {len(failures) - 5} more"
+            raise SimulationError(
+                f"campaign {self.campaign_name!r} has {len(failures)} failed "
+                f"scenario(s): {detail}"
+            )
 
     def select(
         self,
@@ -122,8 +235,57 @@ class CampaignResult:
 
     # -- resume support -----------------------------------------------------------
     def pending(self, campaign: CampaignSpec) -> List[ScenarioSpec]:
-        """Scenarios of ``campaign`` that have no stored outcome yet."""
-        return [scenario for scenario in campaign.scenarios if scenario not in self]
+        """Scenarios of ``campaign`` that still need to run.
+
+        A scenario is pending when it has no stored outcome, or when its
+        stored outcome is ``failed`` — resuming retries failures but never
+        re-runs ``done`` work.
+        """
+        pending: List[ScenarioSpec] = []
+        for scenario in campaign.scenarios:
+            outcome = self.outcomes.get(scenario.scenario_id)
+            if outcome is None or not outcome.ok:
+                pending.append(scenario)
+        return pending
+
+    # -- sharding -----------------------------------------------------------------
+    @classmethod
+    def merge(cls, stores: Sequence["CampaignResult"]) -> "CampaignResult":
+        """Union several result stores of the same campaign by scenario id.
+
+        The inverse of running a campaign as :meth:`CampaignSpec.shard`
+        slices: merging the shard stores reconstructs the store an
+        unsharded run would have produced (order it with
+        :meth:`ordered_for` for bit-identical JSON).
+
+        Raises
+        ------
+        ConfigurationError
+            If no stores are given or the stores belong to differently
+            named campaigns.
+        SimulationError
+            If the same scenario id appears in several stores with
+            different payloads (identical duplicates are unioned silently).
+        """
+        if not stores:
+            raise ConfigurationError("merge needs at least one result store")
+        names = sorted({store.campaign_name for store in stores})
+        if len(names) > 1:
+            raise ConfigurationError(
+                f"cannot merge result stores of different campaigns: {names}"
+            )
+        merged = cls(campaign_name=stores[0].campaign_name)
+        for store in stores:
+            for outcome in store:
+                existing = merged.outcomes.get(outcome.scenario_id)
+                if existing is not None and existing.to_dict() != outcome.to_dict():
+                    raise SimulationError(
+                        f"conflicting outcomes for scenario {outcome.label!r} "
+                        f"(id {outcome.scenario_id}) while merging campaign "
+                        f"{merged.campaign_name!r}"
+                    )
+                merged.add(outcome)
+        return merged
 
     def ordered_for(self, campaign: CampaignSpec) -> "CampaignResult":
         """A copy whose outcomes follow ``campaign``'s scenario order.
@@ -166,8 +328,16 @@ class CampaignResult:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
+        """Atomically write the store as JSON (write-temp + ``os.replace``).
+
+        The executor checkpoints through this method every few scenario
+        completions; the rename guarantees a reader (or a crash) never sees
+        a half-written store.
+        """
+        temp_path = f"{path}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
+        os.replace(temp_path, path)
 
     @classmethod
     def load(cls, path: str) -> "CampaignResult":

@@ -220,6 +220,43 @@ class CampaignSpec:
                 return candidate
         raise KeyError(f"campaign {self.name!r} has no scenario labelled {label!r}")
 
+    # -- sharding -------------------------------------------------------------
+    def shard(self, index: int, count: int) -> "CampaignSpec":
+        """Deterministic ``1/count`` slice of the campaign by scenario index.
+
+        Shard ``index`` keeps the scenarios whose position in the campaign
+        is congruent to ``index`` modulo ``count`` — an interleaved split,
+        so grid axes (which vary fastest by seed) spread evenly across
+        shards.  The shards of one campaign are disjoint, cover every
+        scenario, and keep the campaign's name, so their result stores
+        recombine with :meth:`CampaignResult.merge
+        <repro.campaign.results.CampaignResult.merge>` into exactly the
+        store an unsharded run would produce.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``index``/``count`` are out of range, or the slice is empty
+            (more shards than scenarios).
+        """
+        if count < 1:
+            raise ConfigurationError(f"shard count must be >= 1, got {count}")
+        if not 0 <= index < count:
+            raise ConfigurationError(
+                f"shard index must be in [0, {count}), got {index}"
+            )
+        selected = tuple(
+            scenario
+            for position, scenario in enumerate(self.scenarios)
+            if position % count == index
+        )
+        if not selected:
+            raise ConfigurationError(
+                f"shard {index}/{count} of campaign {self.name!r} is empty "
+                f"({len(self.scenarios)} scenarios)"
+            )
+        return CampaignSpec(name=self.name, scenarios=selected)
+
     # -- grid expansion -------------------------------------------------------
     @classmethod
     def from_grid(

@@ -8,7 +8,11 @@ provides a ``format_*`` helper that renders the rows as an ASCII table for
 side-by-side comparison with the paper.
 """
 
-from repro.experiments.common import ExperimentSettings, default_backend
+from repro.experiments.common import (
+    ExperimentSettings,
+    default_backend,
+    default_checkpoint_dir,
+)
 from repro.experiments.table1 import (
     Table1Result,
     build_table1_campaign,
@@ -37,6 +41,7 @@ from repro.experiments.figure3 import (
 __all__ = [
     "ExperimentSettings",
     "default_backend",
+    "default_checkpoint_dir",
     "Table1Result",
     "build_table1_campaign",
     "run_table1",

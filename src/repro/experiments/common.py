@@ -1,10 +1,11 @@
 """Shared settings and helpers for the experiment drivers.
 
 Every driver describes its sweep as a :class:`~repro.campaign.spec.CampaignSpec`
-and executes it through the :class:`~repro.campaign.executor.CampaignExecutor`
-built by :meth:`ExperimentSettings.make_executor`, so switching an entire
-reproduction from serial to multi-process execution is a single settings
-change (or the ``REPRO_CAMPAIGN_BACKEND`` environment variable).
+and executes it through :meth:`ExperimentSettings.run_campaign`, so switching
+an entire reproduction from serial to multi-process execution is a single
+settings change (or the ``REPRO_CAMPAIGN_BACKEND`` environment variable), and
+pointing ``checkpoint_dir`` (or ``REPRO_CAMPAIGN_CHECKPOINT_DIR``) at a
+directory makes every driver crash-resumable via incremental checkpoints.
 """
 
 from __future__ import annotations
@@ -13,8 +14,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.campaign.executor import CampaignExecutor
-from repro.campaign.spec import FactorySpec
+from repro.campaign.executor import CampaignExecutor, RetryPolicy
+from repro.campaign.results import CampaignResult
+from repro.campaign.spec import CampaignSpec, FactorySpec
 from repro.platform.cluster import Cluster
 from repro.platform.odroid_xu3 import build_a15_cluster
 from repro.sim.runner import ExperimentRunner
@@ -23,6 +25,11 @@ from repro.sim.runner import ExperimentRunner
 def default_backend() -> str:
     """Campaign backend selected by ``REPRO_CAMPAIGN_BACKEND`` (default serial)."""
     return os.environ.get("REPRO_CAMPAIGN_BACKEND", "serial")
+
+
+def default_checkpoint_dir() -> Optional[str]:
+    """Checkpoint directory from ``REPRO_CAMPAIGN_CHECKPOINT_DIR`` (default off)."""
+    return os.environ.get("REPRO_CAMPAIGN_CHECKPOINT_DIR") or None
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,15 @@ class ExperimentSettings:
         identical results — the process pool only changes wall-clock time.
     max_workers:
         Worker count for the process backend (``None`` = CPU count).
+    checkpoint_dir:
+        When set (or via ``REPRO_CAMPAIGN_CHECKPOINT_DIR``), every driver
+        checkpoints its campaign to ``<dir>/<campaign>.checkpoint.json``
+        as scenarios complete and resumes from an existing checkpoint, so
+        a crashed/killed reproduction run picks up where it left off.
+    checkpoint_every:
+        Scenario completions between checkpoint writes.
+    max_attempts:
+        Per-scenario execution attempts (> 1 retries crashing scenarios).
     """
 
     num_frames: int = 600
@@ -53,10 +69,46 @@ class ExperimentSettings:
     num_cores: int = 4
     backend: str = field(default_factory=default_backend)
     max_workers: Optional[int] = None
+    checkpoint_dir: Optional[str] = field(default_factory=default_checkpoint_dir)
+    checkpoint_every: int = 10
+    max_attempts: int = 1
 
     def make_executor(self) -> CampaignExecutor:
         """Build the campaign executor every driver runs its sweep on."""
-        return CampaignExecutor(backend=self.backend, max_workers=self.max_workers)
+        return CampaignExecutor(
+            backend=self.backend,
+            max_workers=self.max_workers,
+            retry=RetryPolicy(max_attempts=self.max_attempts),
+        )
+
+    def checkpoint_path(self, campaign: CampaignSpec) -> Optional[str]:
+        """Per-campaign checkpoint file under :attr:`checkpoint_dir` (or ``None``)."""
+        if not self.checkpoint_dir:
+            return None
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        return os.path.join(self.checkpoint_dir, f"{campaign.name}.checkpoint.json")
+
+    def run_campaign(self, campaign: CampaignSpec) -> CampaignResult:
+        """Execute ``campaign`` with this settings' executor + checkpointing.
+
+        Resumes from the campaign's checkpoint file when one exists, and
+        raises :class:`~repro.errors.SimulationError` if any scenario ends
+        up ``failed`` — the experiment drivers need every cell of their
+        table, so a partial sweep is an error (the checkpoint retains the
+        completed work for the next attempt).
+        """
+        checkpoint = self.checkpoint_path(campaign)
+        resume = None
+        if checkpoint and os.path.exists(checkpoint):
+            resume = CampaignResult.load(checkpoint)
+        store = self.make_executor().run(
+            campaign,
+            resume=resume,
+            checkpoint_path=checkpoint,
+            checkpoint_every=self.checkpoint_every,
+        )
+        store.raise_on_failures()
+        return store
 
     def cluster_spec(self) -> FactorySpec:
         """Declarative spec of the A15 cluster used by every experiment."""

@@ -81,7 +81,7 @@ def run_figure3(
 ) -> Figure3Result:
     """Run the Fig. 3 misprediction analysis on the MPEG-4 decode workload."""
     campaign = build_figure3_campaign(settings, seed, frames_per_second)
-    outcome = settings.make_executor().run(campaign).outcome("figure3")
+    outcome = settings.run_campaign(campaign).outcome("figure3")
     probe = outcome.probe or {}
     return Figure3Result(
         predicted_cycles=probe["predicted_cycles"],

@@ -93,7 +93,7 @@ def run_table1(settings: ExperimentSettings = ExperimentSettings(), seed: int = 
         Seed of the football-sequence workload generator.
     """
     campaign = build_table1_campaign(settings, seed)
-    results = settings.make_executor().run(campaign).results()
+    results = settings.run_campaign(campaign).results()
     rows = compare_to_oracle(results, display_names=_DISPLAY_NAMES)
     saving = pairwise_energy_saving(results, candidate_key="proposed", baseline_key="ondemand")
     return Table1Result(

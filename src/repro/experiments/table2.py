@@ -87,7 +87,7 @@ def run_table2(settings: ExperimentSettings = ExperimentSettings(), base_seed: i
     "average number of explorations".
     """
     campaign = build_table2_campaign(settings, base_seed)
-    store = settings.make_executor().run(campaign)
+    store = settings.run_campaign(campaign)
     rows: List[Table2Row] = []
     for name in _APPLICATIONS:
         ours_counts = [

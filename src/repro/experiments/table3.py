@@ -83,7 +83,7 @@ def run_table3(settings: ExperimentSettings = ExperimentSettings(), base_seed: i
     workload bin is still unlearnt.
     """
     campaign = build_table3_campaign(settings, base_seed)
-    store = settings.make_executor().run(campaign)
+    store = settings.run_campaign(campaign)
     baseline_epochs: List[float] = []
     proposed_epochs: List[float] = []
     baseline_converged: List[float] = []

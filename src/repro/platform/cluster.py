@@ -12,14 +12,14 @@ operating point and tell me how long it took and how much energy it cost*.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._compat import SLOTS
 from repro.errors import PlatformError
 from repro.platform.core import Core, CoreExecutionResult
 from repro.platform.dvfs import DVFSActuator, DVFSTransition
-from repro.platform.power import PowerBreakdown, PowerModel
+from repro.platform.power import PowerModel
 from repro.platform.sensors import EnergyMeter, PowerSensor
 from repro.platform.thermal import ThermalModel
 from repro.platform.vf_table import OperatingPoint, VFTable

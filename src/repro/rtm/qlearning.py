@@ -14,7 +14,7 @@ exposes exactly the two operations the RTM performs at each decision epoch:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError

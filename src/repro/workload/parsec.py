@@ -14,7 +14,7 @@ iteration.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.errors import WorkloadError
 from repro.workload.application import Application

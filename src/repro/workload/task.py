@@ -8,7 +8,7 @@ platform maps onto cores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Tuple
 
 from repro.errors import WorkloadError
 

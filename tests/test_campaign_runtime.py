@@ -1,0 +1,457 @@
+"""Tests for the fault-tolerant campaign runtime.
+
+Covers the PR-3 surface: per-scenario status (``done``/``failed`` with
+captured error + traceback + attempts), the executor retry policy,
+incremental atomic checkpointing with crash-resume bit-equivalence,
+deterministic sharding, shard-store merging, and the CLI's ``--shard`` /
+``merge`` / interrupt behaviour.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignInterrupted,
+    CampaignResult,
+    CampaignSpec,
+    FactorySpec,
+    RetryPolicy,
+    ScenarioOutcome,
+    ScenarioSpec,
+    register_governor,
+    run_campaign,
+    run_scenario_safely,
+)
+from repro.campaign.cli import main as cli_main
+from repro.analysis.reporting import format_campaign_summary
+from repro.errors import ConfigurationError, SimulationError
+from repro.governors.performance import PerformanceGovernor
+
+#: Small scale so the whole module stays fast.
+FRAMES = 60
+
+
+def small_campaign(name="runtime", seeds=(1, 2)):
+    return CampaignSpec.from_grid(
+        name,
+        applications=[FactorySpec.of("mpeg4", num_frames=FRAMES)],
+        governors={
+            "ondemand": FactorySpec.of("ondemand"),
+            "oracle": FactorySpec.of("oracle"),
+        },
+        seeds=seeds,
+    )
+
+
+def broken_scenario(label="broken"):
+    """A scenario whose governor factory cannot resolve (fails in any process)."""
+    return ScenarioSpec(
+        label=label,
+        application=FactorySpec.of("mpeg4", num_frames=FRAMES),
+        governor=FactorySpec.of("no-such-governor"),
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return small_campaign()
+
+
+@pytest.fixture(scope="module")
+def full_store(campaign):
+    return run_campaign(campaign)
+
+
+#: Module-level counter driving the flaky governor factory below.
+_FLAKY_CALLS = {"n": 0}
+
+
+@register_governor("test-flaky-governor")
+def _flaky_governor(fail_times=1):
+    _FLAKY_CALLS["n"] += 1
+    if _FLAKY_CALLS["n"] <= fail_times:
+        raise RuntimeError(f"flaky failure {_FLAKY_CALLS['n']}")
+    return PerformanceGovernor()
+
+
+def flaky_campaign(fail_times):
+    _FLAKY_CALLS["n"] = 0
+    scenario = ScenarioSpec(
+        label="flaky",
+        application=FactorySpec.of("mpeg4", num_frames=FRAMES),
+        governor=FactorySpec.of("test-flaky-governor", fail_times=fail_times),
+    )
+    return CampaignSpec(name="flaky", scenarios=(scenario,))
+
+
+class TestScenarioOutcomeStatus:
+    def test_failure_round_trips_through_json(self):
+        outcome = ScenarioOutcome.failure(
+            broken_scenario(),
+            error="RuntimeError: boom",
+            traceback_text="Traceback...\nRuntimeError: boom\n",
+            attempts=3,
+        )
+        restored = ScenarioOutcome.from_dict(json.loads(json.dumps(outcome.to_dict())))
+        assert restored == outcome
+        assert not restored.ok
+        assert restored.status == "failed"
+        assert restored.error == "RuntimeError: boom"
+        assert "boom" in restored.traceback
+        assert restored.attempts == 3
+        assert restored.result is None
+
+    def test_legacy_dict_without_status_is_done(self, full_store):
+        data = next(iter(full_store)).to_dict()
+        del data["status"]
+        del data["attempts"]
+        restored = ScenarioOutcome.from_dict(data)
+        assert restored.ok and restored.status == "done" and restored.attempts == 1
+
+    def test_done_outcome_requires_result(self):
+        with pytest.raises(SimulationError):
+            ScenarioOutcome(scenario=broken_scenario(), result=None)
+
+    def test_unknown_status_rejected(self, full_store):
+        done = next(iter(full_store))
+        with pytest.raises(SimulationError):
+            ScenarioOutcome(scenario=done.scenario, result=done.result, status="maybe")
+
+
+class TestFailureRecording:
+    def test_factory_error_recorded_not_raised(self):
+        outcome = run_scenario_safely(broken_scenario())
+        assert outcome.status == "failed"
+        assert "no-such-governor" in outcome.error
+        assert "Traceback" in outcome.traceback
+        assert outcome.attempts == 1
+
+    def test_failing_scenario_does_not_kill_campaign(self, campaign):
+        mixed = CampaignSpec(
+            name=campaign.name, scenarios=campaign.scenarios + (broken_scenario(),)
+        )
+        store = CampaignExecutor().run(mixed)
+        assert len(store) == len(mixed)
+        assert [o.label for o in store.failed()] == ["broken"]
+        assert sorted(store.results()) == sorted(campaign.labels)
+        with pytest.raises(SimulationError):
+            store.raise_on_failures()
+
+    def test_process_backend_records_failure(self, campaign):
+        mixed = CampaignSpec(
+            name=campaign.name, scenarios=campaign.scenarios + (broken_scenario(),)
+        )
+        store = CampaignExecutor(backend="process", max_workers=2).run(mixed)
+        assert [o.label for o in store.failed()] == ["broken"]
+
+    def test_summary_is_failure_aware(self, campaign):
+        mixed = CampaignSpec(
+            name=campaign.name, scenarios=campaign.scenarios + (broken_scenario(),)
+        )
+        summary = format_campaign_summary(CampaignExecutor().run(mixed))
+        assert "failed" in summary
+        assert "no-such-governor" in summary
+        assert f"{len(campaign)} done, 1 failed" in summary
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_s=-1.0)
+
+    def test_retry_succeeds_and_stamps_attempts(self):
+        store = CampaignExecutor(retry=RetryPolicy(max_attempts=2)).run(flaky_campaign(1))
+        outcome = store.outcome("flaky")
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert _FLAKY_CALLS["n"] == 2
+
+    def test_retries_exhausted_records_last_error(self):
+        store = CampaignExecutor(retry=RetryPolicy(max_attempts=3)).run(flaky_campaign(99))
+        outcome = store.outcome("flaky")
+        assert not outcome.ok
+        assert outcome.attempts == 3
+        assert outcome.error == "RuntimeError: flaky failure 3"
+        assert _FLAKY_CALLS["n"] == 3
+
+    def test_no_retry_by_default(self):
+        store = CampaignExecutor().run(flaky_campaign(1))
+        assert not store.outcome("flaky").ok
+        assert _FLAKY_CALLS["n"] == 1
+
+
+class TestResumeSemantics:
+    def test_resume_reruns_failed_not_done(self, campaign, full_store):
+        partial = CampaignResult.from_json(full_store.to_json())
+        victim = campaign.scenarios[2]
+        partial.add(
+            ScenarioOutcome.failure(victim, error="Killed", traceback_text="...")
+        )
+        executed = []
+        resumed = CampaignExecutor().run(
+            campaign,
+            resume=partial,
+            progress=lambda label, done, total: executed.append(label),
+        )
+        assert executed == [victim.label]
+        assert resumed.to_json() == full_store.to_json()
+
+    def test_pending_lists_failed_and_missing(self, campaign, full_store):
+        partial = CampaignResult.from_json(full_store.to_json())
+        partial.add(
+            ScenarioOutcome.failure(campaign.scenarios[0], error="x", traceback_text="")
+        )
+        del partial.outcomes[campaign.scenarios[3].scenario_id]
+        pending = partial.pending(campaign)
+        assert [s.label for s in pending] == [
+            campaign.scenarios[0].label,
+            campaign.scenarios[3].label,
+        ]
+
+
+class TestCheckpointing:
+    def test_checkpoint_written_incrementally(self, campaign, full_store, tmp_path):
+        path = tmp_path / "ckpt.json"
+        sizes = []
+
+        def watch(label, done, total):
+            # The checkpoint on disk always trails by < checkpoint_every.
+            sizes.append(len(CampaignResult.load(str(path))) if path.exists() else 0)
+
+        store = CampaignExecutor().run(
+            campaign, progress=watch, checkpoint_path=str(path), checkpoint_every=1
+        )
+        # Before completion k the file held k-1 outcomes (progress fires
+        # after add but before the k-th checkpoint write).
+        assert sizes == [0, 1, 2, 3]
+        assert store.to_json() == full_store.to_json()
+        # The final checkpoint is the completed, campaign-ordered store.
+        assert CampaignResult.load(str(path)).to_json() == full_store.to_json()
+        assert not (tmp_path / "ckpt.json.tmp").exists()
+
+    def test_checkpoint_every_k(self, campaign, tmp_path):
+        path = tmp_path / "ckpt.json"
+        observed = []
+
+        def watch(label, done, total):
+            observed.append(path.exists())
+
+        CampaignExecutor().run(
+            campaign, progress=watch, checkpoint_path=str(path), checkpoint_every=3
+        )
+        # No file after completions 1 and 2; written at completion 3.
+        assert observed == [False, False, False, True]
+
+    def test_checkpoint_every_validated(self, campaign):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor().run(campaign, checkpoint_every=0)
+
+    def test_crash_resume_is_bit_identical(self, campaign, full_store, tmp_path):
+        """Kill a checkpointing campaign mid-run, resume, compare JSON."""
+        path = tmp_path / "ckpt.json"
+
+        def bomb(label, done, total):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(CampaignInterrupted) as info:
+            CampaignExecutor().run(campaign, progress=bomb, checkpoint_path=str(path))
+        assert len(info.value.partial) == 2
+        assert info.value.checkpoint_path == str(path)
+        # The interrupt saved a loadable checkpoint with the completed work.
+        checkpoint = CampaignResult.load(str(path))
+        assert len(checkpoint) == 2
+
+        executed = []
+        resumed = CampaignExecutor().run(
+            campaign,
+            resume=checkpoint,
+            progress=lambda label, done, total: executed.append(label),
+            checkpoint_path=str(path),
+        )
+        assert len(executed) == 2  # only the missing half re-ran
+        assert resumed.to_json() == full_store.to_json()
+        assert json.loads(resumed.to_json()) == json.loads(full_store.to_json())
+
+    def test_fatal_error_still_saves_emergency_checkpoint(self, campaign, tmp_path):
+        """Any fatal error (not just Ctrl-C) persists completed work first."""
+        path = tmp_path / "ckpt.json"
+
+        def bomb(label, done, total):
+            if done == 2:
+                raise RuntimeError("harness died")
+
+        with pytest.raises(RuntimeError, match="harness died"):
+            CampaignExecutor().run(
+                campaign, progress=bomb, checkpoint_path=str(path), checkpoint_every=99
+            )
+        assert len(CampaignResult.load(str(path))) == 2
+
+    def test_interrupt_without_checkpoint_carries_partial(self, campaign):
+        def bomb(label, done, total):
+            raise KeyboardInterrupt
+
+        with pytest.raises(CampaignInterrupted) as info:
+            CampaignExecutor().run(campaign, progress=bomb)
+        assert info.value.checkpoint_path is None
+        assert len(info.value.partial) == 1
+
+    def test_atomic_save_replaces_not_truncates(self, full_store, tmp_path):
+        path = tmp_path / "store.json"
+        full_store.save(str(path))
+        first = path.read_text()
+        full_store.save(str(path))
+        assert path.read_text() == first
+        assert not (tmp_path / "store.json.tmp").exists()
+
+
+class TestSharding:
+    def test_shards_are_disjoint_and_cover(self, campaign):
+        shards = [campaign.shard(i, 3) for i in range(3)]
+        labels = [s.label for shard in shards for s in shard.scenarios]
+        assert sorted(labels) == sorted(campaign.labels)
+        assert all(shard.name == campaign.name for shard in shards)
+
+    def test_shard_is_deterministic_interleave(self, campaign):
+        assert [s.label for s in campaign.shard(0, 2).scenarios] == [
+            campaign.labels[0],
+            campaign.labels[2],
+        ]
+        assert [s.label for s in campaign.shard(1, 2).scenarios] == [
+            campaign.labels[1],
+            campaign.labels[3],
+        ]
+
+    def test_shard_validation(self, campaign):
+        with pytest.raises(ConfigurationError):
+            campaign.shard(2, 2)
+        with pytest.raises(ConfigurationError):
+            campaign.shard(-1, 2)
+        with pytest.raises(ConfigurationError):
+            campaign.shard(0, 0)
+        with pytest.raises(ConfigurationError):
+            campaign.shard(4, 5)  # only 4 scenarios: shard 4/5 is empty
+
+    def test_sharded_run_merges_to_unsharded(self, campaign, full_store):
+        stores = [run_campaign(campaign.shard(i, 2)) for i in range(2)]
+        merged = CampaignResult.merge(stores).ordered_for(campaign)
+        assert merged.to_json() == full_store.to_json()
+
+
+class TestMerge:
+    def test_merge_requires_stores(self):
+        with pytest.raises(ConfigurationError):
+            CampaignResult.merge([])
+
+    def test_merge_rejects_different_campaigns(self, full_store):
+        other = CampaignResult.from_json(full_store.to_json())
+        other.campaign_name = "something-else"
+        with pytest.raises(ConfigurationError):
+            CampaignResult.merge([full_store, other])
+
+    def test_merge_conflict_is_error(self, campaign, full_store):
+        conflicting = CampaignResult(campaign_name=campaign.name)
+        conflicting.add(
+            ScenarioOutcome.failure(campaign.scenarios[0], error="x", traceback_text="")
+        )
+        with pytest.raises(SimulationError):
+            CampaignResult.merge([full_store, conflicting])
+
+    def test_identical_duplicates_union_silently(self, full_store):
+        twin = CampaignResult.from_json(full_store.to_json())
+        merged = CampaignResult.merge([full_store, twin])
+        assert merged.to_json() == full_store.to_json()
+
+
+class TestCli:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        path = tmp_path / "spec.json"
+        small_campaign().save(str(path))
+        return str(path)
+
+    def test_shard_then_merge_equals_unsharded(self, spec_path, tmp_path, capsys):
+        full = str(tmp_path / "full.json")
+        assert cli_main([spec_path, "--quiet", "--output", full]) == 0
+        shard_files = []
+        for index in range(2):
+            out = str(tmp_path / f"shard{index}.json")
+            shard_files.append(out)
+            assert cli_main(
+                [spec_path, "--shard", f"{index}/2", "--quiet", "--output", out]
+            ) == 0
+        merged = str(tmp_path / "merged.json")
+        assert cli_main(
+            ["merge", *shard_files, "--spec", spec_path, "--output", merged, "--quiet"]
+        ) == 0
+        with open(full, encoding="utf-8") as f_full, open(merged, encoding="utf-8") as f_merged:
+            assert json.load(f_full) == json.load(f_merged)
+
+    def test_bad_shard_selector_is_usage_error(self, spec_path, capsys):
+        assert cli_main([spec_path, "--shard", "nope", "--quiet"]) == 2
+        assert "--shard expects" in capsys.readouterr().err
+
+    def test_failed_scenario_exit_code(self, tmp_path, capsys):
+        campaign = CampaignSpec(name="bad", scenarios=(broken_scenario(),))
+        path = tmp_path / "bad.json"
+        campaign.save(str(path))
+        out = str(tmp_path / "bad_results.json")
+        assert cli_main([str(path), "--quiet", "--output", out]) == 1
+        assert "failed" in capsys.readouterr().out
+        # The failed outcome is still persisted for inspection/resume.
+        assert len(CampaignResult.load(out).failed()) == 1
+
+    def test_checkpoint_flag_resumes_automatically(self, spec_path, tmp_path, capsys):
+        checkpoint = str(tmp_path / "ckpt.json")
+        assert cli_main([spec_path, "--quiet", "--checkpoint", checkpoint]) == 0
+        first = CampaignResult.load(checkpoint).to_json()
+        # Second invocation finds everything done and re-runs nothing.
+        assert cli_main([spec_path, "--checkpoint", checkpoint]) == 0
+        assert capsys.readouterr().err == ""  # no per-scenario progress lines
+        assert CampaignResult.load(checkpoint).to_json() == first
+
+    def test_merge_conflict_exit_code(self, spec_path, tmp_path, capsys):
+        campaign = CampaignSpec.load(spec_path)
+        good = run_campaign(campaign)
+        bad = CampaignResult(campaign_name=campaign.name)
+        bad.add(
+            ScenarioOutcome.failure(campaign.scenarios[0], error="x", traceback_text="")
+        )
+        good_path, bad_path = str(tmp_path / "good.json"), str(tmp_path / "bad.json")
+        good.save(good_path)
+        bad.save(bad_path)
+        merged = str(tmp_path / "merged.json")
+        assert cli_main(["merge", good_path, bad_path, "--output", merged]) == 2
+        assert "conflicting outcomes" in capsys.readouterr().err
+
+
+class TestExperimentSettingsCheckpointing:
+    def test_run_campaign_checkpoints_and_resumes(self, tmp_path):
+        from repro.experiments import ExperimentSettings
+
+        settings = ExperimentSettings(
+            num_frames=FRAMES, checkpoint_dir=str(tmp_path), checkpoint_every=1
+        )
+        campaign = small_campaign(name="exp-ckpt")
+        store = settings.run_campaign(campaign)
+        checkpoint = tmp_path / "exp-ckpt.checkpoint.json"
+        assert checkpoint.exists()
+        assert CampaignResult.load(str(checkpoint)).to_json() == store.to_json()
+        # Second run resumes: no scenario re-executes (identical output).
+        assert settings.run_campaign(campaign).to_json() == store.to_json()
+
+    def test_run_campaign_raises_on_failures(self, tmp_path):
+        from repro.experiments import ExperimentSettings
+
+        settings = ExperimentSettings(num_frames=FRAMES, checkpoint_dir=str(tmp_path))
+        campaign = CampaignSpec(name="exp-bad", scenarios=(broken_scenario(),))
+        with pytest.raises(SimulationError):
+            settings.run_campaign(campaign)
+        # The failed outcome was checkpointed for post-mortem inspection.
+        saved = CampaignResult.load(str(tmp_path / "exp-bad.checkpoint.json"))
+        assert [o.label for o in saved.failed()] == ["broken"]

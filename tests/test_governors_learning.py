@@ -6,7 +6,7 @@ from repro.errors import ConfigurationError
 from repro.governors.multicore_dvfs import MultiCoreDVFSGovernor, MultiCoreDVFSParameters
 from repro.governors.shen_rl import ShenRLGovernor
 from repro.rtm.exploration import ExponentialPolicy, UniformPolicy
-from repro.rtm.governor import EpochObservation, FrameHint
+from repro.rtm.governor import EpochObservation
 from repro.rtm.multicore import MultiCoreRLGovernor
 from repro.rtm.rl_governor import RLGovernor, RLGovernorConfig
 from repro.rtm.state import WorkloadNormalisation

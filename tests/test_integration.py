@@ -10,7 +10,6 @@ import pytest
 from repro.governors import (
     MultiCoreDVFSGovernor,
     OndemandGovernor,
-    OracleGovernor,
     PerformanceGovernor,
     PowersaveGovernor,
     ShenRLGovernor,

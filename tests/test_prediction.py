@@ -1,6 +1,5 @@
 """Unit tests for the workload predictors (EWMA eq. 1, last-value, NLMS)."""
 
-import math
 import random
 
 import pytest
