@@ -27,6 +27,9 @@ from typing import Dict, List, Tuple
 GATED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("vectorized_fast_path", "fast_frames_per_s"),
     ("vectorized_fast_path", "scalar_frames_per_s"),
+    ("table_closed_loop", "table_frames_per_s"),
+    ("table_closed_loop", "cold_table_frames_per_s"),
+    ("table_closed_loop", "scalar_frames_per_s"),
     ("tier1_power_cache", "cached_frames_per_s"),
 )
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, List, Sequence
 
 from repro.sim.comparison import ComparisonRow
+from repro.sim.metrics import summarize_result
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard (campaign -> analysis)
     from repro.campaign.results import CampaignResult
@@ -66,13 +67,19 @@ def format_campaign_summary(store: "CampaignResult", title: str = "") -> str:
     for outcome in store:
         if outcome.ok and outcome.result is not None:
             result = outcome.result
+            # Columnar summary: one array reduction per metric instead of a
+            # Python loop over (possibly lazily materialised) records.
+            summary = summarize_result(result)
+            normalized_performance = (
+                summary.average_frame_time_s / result.reference_time_s
+            )
             rows.append(
                 (
                     outcome.label,
                     outcome.status,
-                    f"{result.total_energy_j:.2f}",
-                    f"{result.normalized_performance:.2f}",
-                    f"{result.deadline_miss_ratio:.1%}",
+                    f"{summary.total_energy_j:.2f}",
+                    f"{normalized_performance:.2f}",
+                    f"{summary.deadline_miss_ratio:.1%}",
                     str(outcome.attempts),
                     "",
                 )

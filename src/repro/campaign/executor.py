@@ -24,6 +24,7 @@ from __future__ import annotations
 import os
 import time
 import traceback as traceback_module
+from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -32,6 +33,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.campaign import registry
 from repro.campaign.results import CampaignResult, ScenarioOutcome
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
+from repro.sim import tablepath
 from repro.sim.engine import SimulationEngine
 
 #: Optional per-scenario completion callback (label, index, total).
@@ -91,6 +93,46 @@ class CampaignInterrupted(ReproError):
         )
 
 
+#: Per-worker-process cache of precomputed closed-loop physics tables.
+#: Keyed by everything the tables depend on — application factory + seed,
+#: cluster factory, deadline-padding flag — so scenarios of one campaign
+#: grid that sweep governors over the same application and cluster (the
+#: common Table-I shape) precompute the (frame x operating-point) tables
+#: once per worker instead of once per scenario.  Entries are validated
+#: against the live cluster's physics on every reuse (see
+#: :meth:`~repro.platform.cluster.WorkloadTable.matches`), so a stale or
+#: colliding entry degrades to a rebuild, never to wrong numbers.
+_TABLE_CACHE: "OrderedDict[Tuple, object]" = OrderedDict()
+_TABLE_CACHE_MAX_ENTRIES = 8
+
+
+def _cached_table_provider(scenario: ScenarioSpec) -> tablepath.TableProvider:
+    """A :class:`~repro.sim.tablepath.TableProvider` backed by the worker cache."""
+    key = (
+        scenario.application,
+        scenario.seed,
+        scenario.cluster,
+        scenario.config.idle_until_deadline,
+    )
+
+    def provider(cluster, application, config):
+        tables = _TABLE_CACHE.get(key)
+        if (
+            tables is not None
+            and tables.num_frames == application.num_frames
+            and tables.matches(cluster, config.idle_until_deadline)
+        ):
+            _TABLE_CACHE.move_to_end(key)
+            return tables
+        tables = tablepath.precompute_tables(cluster, application, config)
+        _TABLE_CACHE[key] = tables
+        if len(_TABLE_CACHE) > _TABLE_CACHE_MAX_ENTRIES:
+            _TABLE_CACHE.popitem(last=False)
+        return tables
+
+    return provider
+
+
 def run_scenario(scenario: ScenarioSpec) -> ScenarioOutcome:
     """Execute one scenario from scratch and return its (``done``) outcome.
 
@@ -101,10 +143,13 @@ def run_scenario(scenario: ScenarioSpec) -> ScenarioOutcome:
 
     Scenarios whose governor exposes a static schedule (the pinned Linux
     policies and the Oracle) automatically run on the vectorised fast path
-    (see :mod:`repro.sim.fastpath`) unless the scenario's config sets
-    ``prefer_fast_path=False``; clusters built through the registry default
-    to ``record_history=False``, so campaign memory stays bounded however
-    many frames a scenario sweeps.
+    (see :mod:`repro.sim.fastpath`); closed-loop governors take the
+    table-driven engine (see :mod:`repro.sim.tablepath`) with the
+    precomputed physics shared through a per-worker cache across scenarios
+    of the same application + cluster.  Both are disabled by a scenario
+    config with ``prefer_fast_path=False``.  Clusters built through the
+    registry default to ``record_history=False``, so campaign memory stays
+    bounded however many frames a scenario sweeps.
     """
     cluster = registry.cluster_factory(scenario.cluster.name)(**scenario.cluster.kwargs)
     app_kwargs = dict(scenario.application.kwargs)
@@ -113,7 +158,9 @@ def run_scenario(scenario: ScenarioSpec) -> ScenarioOutcome:
     application = registry.application_factory(scenario.application.name)(**app_kwargs)
     governor = registry.governor_factory(scenario.governor.name)(**scenario.governor.kwargs)
 
-    engine = SimulationEngine(cluster, scenario.config)
+    engine = SimulationEngine(
+        cluster, scenario.config, table_provider=_cached_table_provider(scenario)
+    )
     result = engine.run(application, governor)
 
     probe_data = None

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GovernorError
 from repro.governors.base import observed_load
 from repro.rtm.governor import EpochObservation, FrameHint, Governor
 
@@ -53,22 +53,38 @@ class ConservativeGovernor(Governor):
     def __init__(self, parameters: Optional[ConservativeParameters] = None) -> None:
         super().__init__()
         self.parameters = parameters or ConservativeParameters()
+        self._max_index: Optional[int] = None
+        self._up_threshold = self.parameters.up_threshold
+        self._down_threshold = self.parameters.down_threshold
+        self._freq_step_indices = self.parameters.freq_step_indices
+
+    def setup(self, platform, requirement) -> None:  # type: ignore[override]
+        super().setup(platform, requirement)
+        # Per-decision constants, hoisted out of the hot loop.
+        self._max_index = len(platform.vf_table) - 1
 
     def decide(
         self,
         previous: Optional[EpochObservation],
         hint: Optional[FrameHint] = None,
     ) -> int:
-        table = self.platform.vf_table
+        max_index = self._max_index
+        if max_index is None:
+            raise GovernorError(f"governor {self.name!r} used before setup()")
         if previous is None:
-            return len(table) - 1
+            return max_index
         load = observed_load(previous)
         index = previous.operating_index
-        if load > self.parameters.up_threshold:
-            index += self.parameters.freq_step_indices
-        elif load < self.parameters.down_threshold:
-            index -= self.parameters.freq_step_indices
-        return table.clamp_index(index)
+        if load > self._up_threshold:
+            index += self._freq_step_indices
+        elif load < self._down_threshold:
+            index -= self._freq_step_indices
+        # Inline clamp (VFTable.clamp_index semantics).
+        if index < 0:
+            return 0
+        if index > max_index:
+            return max_index
+        return index
 
     def describe(self) -> str:
         p = self.parameters

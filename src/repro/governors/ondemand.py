@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GovernorError
 from repro.governors.base import observed_load
 from repro.rtm.governor import EpochObservation, FrameHint, Governor
 
@@ -59,28 +59,41 @@ class OndemandGovernor(Governor):
         super().__init__()
         self.parameters = parameters or OndemandParameters()
         self._hold_remaining = 0
+        self._table = None
+        self._max_index: Optional[int] = None
+        self._min_frequency_hz = 0.0
+        self._up_threshold = self.parameters.up_threshold
+        self._sampling_down_factor = self.parameters.sampling_down_factor
 
     def setup(self, platform, requirement) -> None:  # type: ignore[override]
         super().setup(platform, requirement)
         self._hold_remaining = 0
+        # Per-decision constants, hoisted out of the hot loop.
+        self._table = platform.vf_table
+        self._max_index = len(platform.vf_table) - 1
+        self._min_frequency_hz = platform.vf_table.min_point.frequency_hz
+        self._up_threshold = self.parameters.up_threshold
+        self._sampling_down_factor = self.parameters.sampling_down_factor
 
     def decide(
         self,
         previous: Optional[EpochObservation],
         hint: Optional[FrameHint] = None,
     ) -> int:
-        table = self.platform.vf_table
-        max_index = len(table) - 1
+        max_index = self._max_index
+        if max_index is None:
+            raise GovernorError(f"governor {self.name!r} used before setup()")
         if previous is None:
             # Ondemand starts from whatever frequency was in force; starting
             # at the maximum is the safe (and common after-boot) situation.
             return max_index
 
+        table = self._table
         load = observed_load(previous)
         current_frequency = table[previous.operating_index].frequency_hz
 
-        if load > self.parameters.up_threshold:
-            self._hold_remaining = self.parameters.sampling_down_factor
+        if load > self._up_threshold:
+            self._hold_remaining = self._sampling_down_factor
             return max_index
 
         if self._hold_remaining > 1:
@@ -92,8 +105,8 @@ class OndemandGovernor(Governor):
         # Scale down proportionally so the next window's load sits just under
         # the threshold, then round up to the next available operating point
         # (CPUFREQ_RELATION_L).
-        target_frequency = current_frequency * load / self.parameters.up_threshold
-        target_frequency = max(target_frequency, table.min_point.frequency_hz)
+        target_frequency = current_frequency * load / self._up_threshold
+        target_frequency = max(target_frequency, self._min_frequency_hz)
         return table.nearest_index_for_frequency(target_frequency)
 
     def describe(self) -> str:

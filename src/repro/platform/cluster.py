@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro._compat import SLOTS
 from repro.errors import PlatformError
@@ -23,6 +23,86 @@ from repro.platform.power import PowerModel
 from repro.platform.sensors import EnergyMeter, PowerSensor
 from repro.platform.thermal import ThermalModel
 from repro.platform.vf_table import OperatingPoint, VFTable
+
+
+class WorkloadTable:
+    """Precomputed physics of a frame trace over every operating point.
+
+    Produced by :meth:`Cluster.execute_workload_table`: for each of the
+    ``num_frames x num_points`` (frame, operating point) pairs it holds every
+    quantity :meth:`Cluster.execute_workload` would derive from that pair —
+    critical-path busy time, interval (with optional deadline padding) and
+    core+uncore energy — plus the per-point constants (reciprocal periods,
+    busy/idle powers) they were derived from.  DVFS transition costs are
+    *not* baked in: they depend on the previous frame's decision and are two
+    constants the consumer adds per transition.
+
+    Every table entry is built from the same IEEE operations, in the same
+    order, as the scalar ``execute_workload`` path, so indexing the table is
+    bit-identical to executing the frame — which is what lets the
+    table-driven closed-loop engine reproduce the scalar engine's governor
+    trajectories exactly (see :mod:`repro.sim.tablepath`).
+
+    Only the energy table is materialised as nested Python lists
+    (``energy_rows[frame][point]``) for fast scalar indexing in the
+    per-frame loop: busy time is one multiply (``max_cycles x
+    seconds_per_cycle``) and the interval one comparison away, the exact
+    operations the scalar engine performs, so converting their (frame,
+    point) tables to lists would only slow the precompute down.  The NumPy
+    arrays of all three quantities are kept for batch post-processing.
+    """
+
+    __slots__ = (
+        "num_frames",
+        "num_cores",
+        "num_points",
+        "idle_until_deadline",
+        "idle_at_min_opp",
+        "temperature_c",
+        "uncore_power_w",
+        "seconds_per_cycle",
+        "frequencies_hz",
+        "frequencies_mhz",
+        "busy_power_w",
+        "idle_power_w",
+        "cycles",
+        "cycles_tuples",
+        "max_cycles",
+        "deadlines_s",
+        "busy_time",
+        "interval",
+        "energy",
+        "energy_rows",
+    )
+
+    def __init__(self, **attributes: Any) -> None:
+        for name in self.__slots__:
+            setattr(self, name, attributes.pop(name))
+        if attributes:
+            raise PlatformError(f"unknown WorkloadTable attributes: {sorted(attributes)}")
+
+    def matches(self, cluster: "Cluster", idle_until_deadline: bool) -> bool:
+        """Cheap soundness check that this table describes ``cluster``'s physics.
+
+        Compares the per-operating-point constants (reciprocal periods,
+        busy/idle powers, uncore power, temperature) and the idle/padding
+        flags — O(num_points), so a cached table can be validated on every
+        reuse.  The frame trace itself is trusted to the cache key.
+        """
+        table = cluster.vf_table
+        if (
+            self.num_cores != cluster.num_cores
+            or self.num_points != len(table)
+            or self.idle_until_deadline != idle_until_deadline
+            or self.idle_at_min_opp != cluster.idle_at_min_opp
+            or self.temperature_c != cluster.thermal_model.temperature_c
+            or self.uncore_power_w != cluster.power_model.parameters.uncore_power_w
+        ):
+            return False
+        if self.seconds_per_cycle != [p.seconds_per_cycle for p in table.points]:
+            return False
+        busy, idle = cluster.power_model.power_table(table.points, self.temperature_c)
+        return self.busy_power_w == busy and self.idle_power_w == idle
 
 
 @dataclass(frozen=True, **SLOTS)
@@ -278,7 +358,9 @@ class Cluster:
         temperature = self.thermal_model.step(true_average_power, duration_s)
 
         # The on-board sensor sees the average rail power for the interval.
-        reading = self.power_sensor.measure(true_average_power, self._time_s + duration_s)
+        measured_power_w = self.power_sensor.measure_w(
+            true_average_power, self._time_s + duration_s
+        )
 
         self.energy_meter.add_interval(
             (core_energy_j + uncore_energy_j) / interval_s if interval_s > 0 else 0.0,
@@ -294,7 +376,7 @@ class Cluster:
             operating_point=point,
             operating_index=index,
             core_results=core_results,
-            measured_power_w=reading.power_w,
+            measured_power_w=measured_power_w,
             temperature_c=temperature,
             max_busy_cycles=max(demands),
             total_busy_cycles=sum(demands),
@@ -303,6 +385,121 @@ class Cluster:
     def idle(self, duration_s: float) -> ClusterExecutionResult:
         """Let the cluster sit idle for ``duration_s`` at the current point."""
         return self.execute_workload([0.0] * self.num_cores, minimum_interval_s=duration_s)
+
+    def execute_workload_table(
+        self,
+        cycles_per_core: Sequence[Sequence[float]],
+        deadlines_s: Sequence[float],
+        idle_until_deadline: bool = True,
+    ) -> WorkloadTable:
+        """Batch-evaluate :meth:`execute_workload` over every operating point.
+
+        For a trace of ``num_frames`` frames (``cycles_per_core[frame]`` is
+        the per-core cycle demand, ``deadlines_s[frame]`` the minimum
+        interval when ``idle_until_deadline``), precompute busy time,
+        interval and core+uncore energy for every (frame, operating point)
+        pair.  Requires NumPy and a disabled thermal model (constant
+        junction temperature); transition costs are left to the caller.
+
+        Bit-exactness with the scalar path holds by construction:
+
+        * per-core busy time is ``cycles * seconds_per_cycle`` (the same
+          hoisted reciprocal, the same single multiply), and the critical
+          path is ``max_cycles * seconds_per_cycle`` — identical to the max
+          over per-core products because multiplying by a positive constant
+          is monotonic under IEEE rounding;
+        * per-frame core energy accumulates the per-core terms
+          ``busy_power * busy_time + idle_power * idle_time`` left to right
+          across cores, exactly like the scalar engine's ``sum()``;
+        * busy/idle powers come from :meth:`PowerModel.power_table`, the
+          same evaluations the scalar loop's power cache stores.
+        """
+        try:
+            import numpy as np
+        except ImportError as exc:  # pragma: no cover - numpy-less installs
+            raise PlatformError("execute_workload_table requires numpy") from exc
+        if self.thermal_model.enabled:
+            raise PlatformError(
+                "execute_workload_table requires a disabled thermal model "
+                "(temperature-dependent leakage varies per frame)"
+            )
+        num_frames = len(cycles_per_core)
+        if num_frames != len(deadlines_s):
+            raise PlatformError("cycles_per_core and deadlines_s must have equal length")
+        num_cores = self.num_cores
+        points = self.vf_table.points
+        num_points = len(points)
+        temperature_c = self.thermal_model.temperature_c
+
+        cycles_tuples = [tuple(row) for row in cycles_per_core]
+        for row in cycles_tuples:
+            if len(row) != num_cores:
+                raise PlatformError(
+                    f"got {len(row)} per-core demands for a {num_cores}-core cluster"
+                )
+        cycles = np.asarray(cycles_tuples, dtype=np.float64).reshape(num_frames, num_cores)
+        deadlines = np.asarray(deadlines_s, dtype=np.float64)
+        seconds_per_cycle = np.array([p.seconds_per_cycle for p in points])
+
+        busy_list, idle_list = self.power_model.power_table(points, temperature_c)
+        busy_power = np.array(busy_list)
+        idle_power = np.array(idle_list)
+        uncore_power_w = self.power_model.parameters.uncore_power_w
+
+        # Critical-path time per (frame, point): max over cores commutes with
+        # the (monotonic) multiply, so one product per pair suffices.
+        max_cycles = cycles.max(axis=1) if num_frames else np.zeros(0)
+        busy_time = max_cycles[:, None] * seconds_per_cycle[None, :]
+        if idle_until_deadline:
+            interval = np.maximum(busy_time, deadlines[:, None])
+        else:
+            interval = busy_time.copy()
+
+        # Core energy, accumulated core by core in scalar summation order.
+        # The scalar path clamps idle time with max(0, interval - busy), but
+        # busy <= interval holds for every (frame, point) pair by
+        # construction (busy <= busy_max <= interval, monotonic multiply),
+        # so the clamp is a numerical no-op and is skipped here.
+        if self.idle_at_min_opp:
+            idle_row = idle_power[0]
+        else:
+            idle_row = idle_power[None, :]
+        core_energy = None
+        for core in range(num_cores):
+            core_busy = cycles[:, core, None] * seconds_per_cycle[None, :]
+            core_idle = interval - core_busy
+            term = busy_power[None, :] * core_busy
+            term += idle_row * core_idle
+            if core_energy is None:
+                core_energy = term
+            else:
+                core_energy += term
+        if core_energy is None:  # zero-core clusters cannot exist, but be safe
+            core_energy = np.zeros_like(interval)
+        energy = core_energy + uncore_power_w * interval
+
+        return WorkloadTable(
+            num_frames=num_frames,
+            num_cores=num_cores,
+            num_points=num_points,
+            idle_until_deadline=idle_until_deadline,
+            idle_at_min_opp=self.idle_at_min_opp,
+            temperature_c=temperature_c,
+            uncore_power_w=uncore_power_w,
+            seconds_per_cycle=list(seconds_per_cycle.tolist()),
+            frequencies_hz=self.vf_table.frequencies_hz,
+            frequencies_mhz=[p.frequency_mhz for p in points],
+            busy_power_w=busy_list,
+            idle_power_w=idle_list,
+            cycles=cycles,
+            cycles_tuples=cycles_tuples,
+            max_cycles=max_cycles.tolist(),
+            deadlines_s=deadlines,
+            busy_time=busy_time,
+            interval=interval,
+            energy=energy,
+            energy_rows=energy.tolist(),
+        )
 
     def advance_time(self, duration_s: float) -> None:
         """Advance the cluster clock by ``duration_s`` without executing work.

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
 
 from repro._compat import SLOTS
 from repro.errors import ConfigurationError
@@ -163,6 +164,25 @@ class PowerModel:
         return self.dynamic_power_w(point, utilisation) + self.static_power_w(
             point, temperature_c
         )
+
+    def power_table(
+        self,
+        points: "Sequence[OperatingPoint]",
+        temperature_c: float = 55.0,
+    ) -> "Tuple[List[float], List[float]]":
+        """Batch-evaluate per-core busy and idle power over a table of points.
+
+        Returns ``(busy_powers_w, idle_powers_w)`` with one entry per
+        operating point: the single-core power at utilisation 1.0 (busy) and
+        0.0 (clocked idle) at ``temperature_c``.  Each entry is exactly
+        :meth:`core_power_w` for that point — the same IEEE operations, so
+        table-driven engines that index these lists reproduce the scalar
+        simulation loop bit for bit.  Evaluated once per trace, this replaces
+        ``2 x num_frames`` leakage-model calls with ``2 x num_points``.
+        """
+        busy = [self.core_power_w(point, 1.0, temperature_c) for point in points]
+        idle = [self.core_power_w(point, 0.0, temperature_c) for point in points]
+        return busy, idle
 
     def cluster_power(
         self,

@@ -64,7 +64,8 @@ class PowerSensor:
     seed: Optional[int] = 0
     record_history: bool = False
     _rng: random.Random = field(init=False, repr=False)
-    _last_reading: Optional[SensorReading] = field(init=False, default=None)
+    _last_time_s: Optional[float] = field(init=False, default=None)
+    _last_power_w: float = field(init=False, default=0.0)
     _history: List[SensorReading] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
@@ -74,6 +75,31 @@ class PowerSensor:
             raise ConfigurationError("resolution and noise must be non-negative")
         self._rng = random.Random(self.seed)
 
+    def measure_w(self, true_power_w: float, timestamp_s: float) -> float:
+        """Measure ``true_power_w`` at ``timestamp_s`` and return the power alone.
+
+        Identical semantics to :meth:`measure` — conversion-period holdover,
+        noise, quantisation, state updates — without allocating a
+        :class:`SensorReading` (unless history recording is on).  This is
+        the entry point the simulators' per-frame loops use.
+        """
+        if true_power_w < 0:
+            raise ValueError(f"power must be non-negative, got {true_power_w}")
+        last_time = self._last_time_s
+        if last_time is not None and timestamp_s - last_time < self.sample_period_s:
+            return self._last_power_w
+        measured = true_power_w
+        if self.noise_stddev_w > 0:
+            measured += self._rng.gauss(0.0, self.noise_stddev_w)
+        if self.resolution_w > 0:
+            measured = round(measured / self.resolution_w) * self.resolution_w
+        measured = max(0.0, measured)
+        self._last_time_s = timestamp_s
+        self._last_power_w = measured
+        if self.record_history:
+            self._history.append(SensorReading(timestamp_s=timestamp_s, power_w=measured))
+        return measured
+
     def measure(self, true_power_w: float, timestamp_s: float) -> SensorReading:
         """Measure ``true_power_w`` at ``timestamp_s``.
 
@@ -81,24 +107,8 @@ class PowerSensor:
         conversion the previous reading is returned unchanged, modelling the
         sensor's conversion latency.
         """
-        if true_power_w < 0:
-            raise ValueError(f"power must be non-negative, got {true_power_w}")
-        if (
-            self._last_reading is not None
-            and timestamp_s - self._last_reading.timestamp_s < self.sample_period_s
-        ):
-            return self._last_reading
-        measured = true_power_w
-        if self.noise_stddev_w > 0:
-            measured += self._rng.gauss(0.0, self.noise_stddev_w)
-        if self.resolution_w > 0:
-            measured = round(measured / self.resolution_w) * self.resolution_w
-        measured = max(0.0, measured)
-        reading = SensorReading(timestamp_s=timestamp_s, power_w=measured)
-        self._last_reading = reading
-        if self.record_history:
-            self._history.append(reading)
-        return reading
+        self.measure_w(true_power_w, timestamp_s)
+        return SensorReading(timestamp_s=self._last_time_s, power_w=self._last_power_w)
 
     def measure_trace(
         self, true_powers_w: Sequence[float], timestamps_s: Sequence[float]
@@ -118,7 +128,7 @@ class PowerSensor:
             raise ValueError("true_powers_w and timestamps_s must have equal length")
         if len(true_powers_w) == 0:  # len(), not truthiness: arrays are valid input
             return []
-        if _np is not None and self.noise_stddev_w == 0 and self._last_reading is None:
+        if _np is not None and self.noise_stddev_w == 0 and self._last_time_s is None:
             powers = _np.asarray(true_powers_w, dtype=float)
             times = _np.asarray(timestamps_s, dtype=float)
             no_holdover = (
@@ -130,9 +140,8 @@ class PowerSensor:
                     measured = _np.round(measured / self.resolution_w) * self.resolution_w
                 measured = _np.maximum(measured, 0.0)
                 out = measured.tolist()
-                self._last_reading = SensorReading(
-                    timestamp_s=float(times[-1]), power_w=out[-1]
-                )
+                self._last_time_s = float(times[-1])
+                self._last_power_w = out[-1]
                 if self.record_history:
                     self._history.extend(
                         SensorReading(timestamp_s=t, power_w=p)
@@ -140,7 +149,7 @@ class PowerSensor:
                     )
                 return out
         return [
-            self.measure(power, timestamp).power_w
+            self.measure_w(power, timestamp)
             for power, timestamp in zip(true_powers_w, timestamps_s)
         ]
 
@@ -157,11 +166,14 @@ class PowerSensor:
     @property
     def last_reading(self) -> Optional[SensorReading]:
         """The most recent conversion, or ``None`` before the first one."""
-        return self._last_reading
+        if self._last_time_s is None:
+            return None
+        return SensorReading(timestamp_s=self._last_time_s, power_w=self._last_power_w)
 
     def reset(self) -> None:
         """Forget all previous conversions."""
-        self._last_reading = None
+        self._last_time_s = None
+        self._last_power_w = 0.0
         self._history.clear()
 
 

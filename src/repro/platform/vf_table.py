@@ -13,10 +13,11 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
+from repro._compat import SLOTS
 from repro.errors import ConfigurationError, InvalidOperatingPointError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class OperatingPoint:
     """A single DVFS operating performance point.
 

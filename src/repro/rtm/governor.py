@@ -53,6 +53,11 @@ class PlatformInfo:
 class EpochObservation:
     """Everything a governor may observe about the epoch that just finished.
 
+    An observation is valid only for the duration of the ``decide()`` call
+    it is passed to: the engines' hot loops reuse one instance and rebuild
+    its fields in place between epochs, so a governor must extract the
+    values it needs inside ``decide()`` rather than retain the object.
+
     Attributes
     ----------
     epoch_index:
@@ -117,7 +122,9 @@ class FrameHint:
 
     Only the Oracle governor uses this; online governors must ignore it.
     The simulation engine always passes it so that the engine code does not
-    need to special-case the Oracle.
+    need to special-case the Oracle.  Like :class:`EpochObservation`, a hint
+    is valid only inside the ``decide()`` call it is passed to — the engines
+    reuse one instance and rebuild its fields in place between frames.
     """
 
     cycles_per_core: Tuple[float, ...]
@@ -207,6 +214,26 @@ class Governor(ABC):
     def exploration_count(self) -> int:
         """Number of explorative decisions taken so far (0 for non-learning governors)."""
         return 0
+
+    @property
+    def exploration_frozen(self) -> bool:
+        """True once :attr:`exploration_count` can no longer change.
+
+        Engines poll ``exploration_count`` after every ``decide()`` to flag
+        explorative epochs in the per-frame records; once this property
+        returns True they stop polling for the rest of the run, which takes
+        the property-chain read out of the hot loop.  Frozen-ness must be
+        monotonic within a run.
+
+        The base implementation is safe by construction: it returns True
+        exactly when the governor still uses the base
+        :attr:`exploration_count` (pinned at 0), so a learning governor that
+        overrides the count without overriding this probe is simply polled
+        every frame.  Learning governors may override it to return True once
+        their exploration phase has ended for good (see
+        :class:`~repro.rtm.rl_governor.RLGovernor`).
+        """
+        return type(self).exploration_count is Governor.exploration_count
 
     @property
     def converged_epoch(self) -> Optional[int]:

@@ -88,29 +88,31 @@ class MultiCoreRLGovernor(RLGovernor):
         previous: Optional[EpochObservation],
         hint: Optional[FrameHint] = None,
     ) -> int:
-        agent = self.agent
+        agent = self._agent
+        if agent is None:
+            raise ConfigurationError("MultiCoreRLGovernor used before setup()")
         if previous is None:
             initial_state = self.state_space.state_index(1.0 / max(1, self.platform.num_cores), 0.0)
             initial_action = self.platform.num_actions - 1
             agent.qtable.record_visit(initial_state, initial_action)
             self._pending_state = initial_state
             self._pending_action = initial_action
-            self._last_overhead_s = self.config.overhead.epoch_overhead_s(learning=True)
+            self._last_overhead_s = self._overhead_learning_s
             return initial_action
 
-        # (1) Pay-off for the finished epoch — shared across cores because the
-        # frame deadline is a property of the whole cluster.
-        average_slack = self.slack_tracker.update(
-            previous.busy_time_s, previous.overhead_time_s
-        )
-        slack_delta = self.slack_tracker.slack_delta
-        progress_reward = compute_reward(average_slack, slack_delta, self.config.reward)
-        reward = compute_reward(
-            average_slack,
-            slack_delta,
-            self.config.reward,
-            instantaneous_slack=self.slack_tracker.last_instantaneous_slack,
-        )
+        # (1) Pay-off for the finished epoch — shared across cores because
+        # the frame deadline is a property of the whole cluster.  The full
+        # pay-off differs from the progress pay-off only by the per-frame
+        # miss penalty, so one evaluation serves both.
+        tracker = self._slack_tracker
+        reward_params = self.config.reward
+        average_slack = tracker.update(previous.busy_time_s, previous.overhead_time_s)
+        slack_delta = tracker.slack_delta
+        progress_reward = compute_reward(average_slack, slack_delta, reward_params)
+        reward = progress_reward
+        instantaneous_slack = tracker.last_instantaneous_slack
+        if instantaneous_slack < 0.0:
+            reward -= reward_params.miss_penalty_weight * (-instantaneous_slack)
         self._reward_history.append(reward)
 
         # (2) Per-core workload prediction.  In eq.-7 mode the round-robin
@@ -118,17 +120,15 @@ class MultiCoreRLGovernor(RLGovernor):
         # mode the cluster's predicted critical path (the largest per-core
         # prediction) does, since that is what the shared V-F domain must
         # accommodate.
-        predictions = []
-        for core_index, predictor in enumerate(self._core_predictors):
-            observed = (
-                previous.cycles_per_core[core_index]
-                if core_index < len(previous.cycles_per_core)
-                else 0.0
-            )
-            predictions.append(predictor.observe(observed))
+        cycles = previous.cycles_per_core
+        num_observed = len(cycles)
+        predictions = [
+            predictor.observe(cycles[core_index] if core_index < num_observed else 0.0)
+            for core_index, predictor in enumerate(self._core_predictors)
+        ]
         focus_core = self._round_robin_core
         if self.config.use_total_share_normalisation:
-            normalised = self.state_space.normalise_workload(
+            normalised = self._state_space.normalise_workload(
                 predictions[focus_core],
                 capacity_cycles=self.platform.capacity_cycles(self.requirement.tref_s),
                 all_core_predictions=predictions,
@@ -138,30 +138,32 @@ class MultiCoreRLGovernor(RLGovernor):
             # characterised workload range (online pre-characterisation).
             self._range_tracker.observe(previous.max_cycles)
             normalised = self._range_tracker.normalise(max(predictions))
-        next_state = self.state_space.state_index(normalised, average_slack)
+        next_state = self._state_space.state_index(normalised, average_slack)
 
-        # (3) Bellman update of the previous state-action pair in the shared table.
+        # (3) Bellman update of the previous state-action pair in the shared
+        # table, fused with (4) the selection of the next action.
         if self._pending_state is not None and self._pending_action is not None:
-            agent.update(
+            action, _sampled, exploiting = agent.update_and_select(
                 self._pending_state,
                 self._pending_action,
                 reward,
                 next_state,
+                average_slack,
                 progress_reward=progress_reward,
             )
-
-        # (4) Select the next action (explorative or greedy) and rotate the core.
-        action, _sampled = agent.select_action(next_state, average_slack)
+        else:  # pragma: no cover - pending pair always exists after epoch 0
+            action, _sampled = agent.select_action(next_state, average_slack)
+            exploiting = agent.is_exploiting
         self._convergence.observe(
             action,
-            explored=not agent.is_exploiting,
+            explored=not exploiting,
             policy_changed=agent.last_update_changed_policy,
         )
         self._pending_state = next_state
         self._pending_action = action
         self._round_robin_core = (focus_core + 1) % self.platform.num_cores
-        self._last_overhead_s = self.config.overhead.epoch_overhead_s(
-            learning=not agent.is_exploiting
+        self._last_overhead_s = (
+            self._overhead_exploiting_s if exploiting else self._overhead_learning_s
         )
         return action
 

@@ -10,8 +10,9 @@ settles is the quantity compared in Table III.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -77,9 +78,13 @@ class ConvergenceDetector:
         self.window = window
         self.tolerance = tolerance
         self.track_action_range = track_action_range
-        self._recent_actions: List[int] = []
-        self._recent_explorations: List[bool] = []
-        self._recent_policy_changes: List[bool] = []
+        # A window of consecutive stable epochs ends at epoch `e` iff the
+        # most recent unstable (explored or policy-changing) epoch is at
+        # most `e - window`, so two scalars replace the per-epoch scans of
+        # the history.  The bounded action deque (no O(window) pop(0) list
+        # shift) is only needed for the optional action-range criterion.
+        self._recent_actions: "deque[int]" = deque(maxlen=window)
+        self._last_unstable_epoch = 0
         self._epoch = 0
         self._converged_epoch: Optional[int] = None
 
@@ -95,33 +100,28 @@ class ConvergenceDetector:
 
     def observe(self, action: int, explored: bool, policy_changed: bool = False) -> None:
         """Record one epoch's decision."""
-        self._epoch += 1
+        epoch = self._epoch + 1
+        self._epoch = epoch
         if self._converged_epoch is not None:
             return
-        self._recent_actions.append(action)
-        self._recent_explorations.append(explored)
-        self._recent_policy_changes.append(policy_changed)
-        if len(self._recent_actions) > self.window:
-            self._recent_actions.pop(0)
-            self._recent_explorations.pop(0)
-            self._recent_policy_changes.pop(0)
-        if len(self._recent_actions) < self.window:
+        if explored or policy_changed:
+            self._last_unstable_epoch = epoch
             return
-        if any(self._recent_explorations) or any(self._recent_policy_changes):
+        if epoch < self.window or epoch - self._last_unstable_epoch < self.window:
+            if self.track_action_range:
+                self._recent_actions.append(action)
             return
         if self.track_action_range:
-            lowest = min(self._recent_actions)
-            highest = max(self._recent_actions)
-            if highest - lowest > self.tolerance:
+            self._recent_actions.append(action)
+            if max(self._recent_actions) - min(self._recent_actions) > self.tolerance:
                 return
         # Converged `window` epochs ago; report the epoch at which the
         # stable stretch began, i.e. the learning overhead actually paid.
-        self._converged_epoch = self._epoch - self.window
+        self._converged_epoch = epoch - self.window
 
     def reset(self) -> None:
         """Forget all history."""
         self._recent_actions.clear()
-        self._recent_explorations.clear()
-        self._recent_policy_changes.clear()
+        self._last_unstable_epoch = 0
         self._epoch = 0
         self._converged_epoch = None

@@ -17,10 +17,11 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro._compat import SLOTS
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class PredictionRecord:
     """One predicted/actual pair, kept for misprediction analysis."""
 
@@ -157,7 +158,32 @@ class EWMAPredictor(WorkloadPredictor):
         if not 0.0 < gamma <= 1.0:
             raise ConfigurationError(f"EWMA gamma must lie in (0, 1], got {gamma}")
         self.gamma = gamma
+        self._one_minus_gamma = 1.0 - gamma
         self._state: Optional[float] = None
+
+    def observe(self, actual: float) -> float:
+        """Specialised :meth:`WorkloadPredictor.observe` for the per-epoch hot loop.
+
+        Identical bookkeeping and arithmetic to the generic implementation
+        (record the predicted/actual pair, fold ``actual`` into the EWMA
+        state, return the next prediction) fused into one call.
+        """
+        if actual < 0:
+            raise ValueError(f"observed workload must be non-negative, got {actual}")
+        last = self._last_prediction
+        if last is not None:
+            self._records.append(
+                PredictionRecord(epoch_index=self._epoch, predicted=last, actual=actual)
+            )
+        state = self._state
+        if state is None:
+            state = actual
+        else:
+            state = self.gamma * actual + self._one_minus_gamma * state
+        self._state = state
+        self._last_prediction = state
+        self._epoch += 1
+        return state
 
     def _predict_next(self, actual: float) -> float:
         if self._state is None:

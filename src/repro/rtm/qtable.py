@@ -32,6 +32,11 @@ class QTable:
         self._visit_counts: List[List[int]] = [
             [0] * num_actions for _ in range(num_states)
         ]
+        # Memoised highest-tie argmax per row (-1 = unknown).  best_action()
+        # runs several times per decision epoch; a row's greedy action only
+        # changes when the row is written, so writers invalidate (or, when
+        # they can derive it, refresh) the entry.
+        self._best_action_cache: List[int] = [-1] * num_states
 
     # -- size ---------------------------------------------------------------------
     @property
@@ -65,6 +70,7 @@ class QTable:
         """Overwrite the Q-value of (state, action)."""
         self._check(state, action)
         self._values[state][action] = value
+        self._best_action_cache[state] = -1
 
     def row(self, state: int) -> Tuple[float, ...]:
         """All action values for ``state``."""
@@ -82,14 +88,24 @@ class QTable:
         Ties are broken towards the highest-index (fastest) action by
         default, which is the performance-safe choice before any learning
         has happened; ``tie_break="lowest"`` picks the slowest instead.
+
+        Runs several times per decision epoch in the RTM's hot loop, so the
+        scan is allocation-free (no candidate list is built) and the
+        default-tie-break result is memoised until the row is next written.
         """
         self._check(state)
         row = self._values[state]
-        best = max(row)
-        candidates = [a for a, v in enumerate(row) if v == best]
         if tie_break == "lowest":
-            return candidates[0]
-        return candidates[-1]
+            return row.index(max(row))
+        cached = self._best_action_cache[state]
+        if cached >= 0:
+            return cached
+        best = max(row)
+        for action in range(len(row) - 1, -1, -1):
+            if row[action] == best:
+                self._best_action_cache[state] = action
+                return action
+        return 0  # pragma: no cover - max(row) always appears in row
 
     # -- learning bookkeeping ------------------------------------------------------------
     def record_visit(self, state: int, action: int) -> None:
@@ -118,9 +134,11 @@ class QTable:
         """
         if not 0.0 < learning_rate <= 1.0:
             raise ConfigurationError(f"learning rate must lie in (0, 1], got {learning_rate}")
-        old = self.get(state, action)
-        new = (1.0 - learning_rate) * old + learning_rate * target
-        self.set(state, action, new)
+        self._check(state, action)
+        row = self._values[state]
+        new = (1.0 - learning_rate) * row[action] + learning_rate * target
+        row[action] = new
+        self._best_action_cache[state] = -1
         return new
 
     # -- greedy policy as a whole ------------------------------------------------------------

@@ -19,6 +19,7 @@ enough".
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -128,7 +129,13 @@ class SlackTracker:
             raise ConfigurationError("window must be >= 1 when given")
         self.reference_time_s = reference_time_s
         self.window = window
-        self._slacks_s: List[float] = []
+        # Windowed mode keeps only the last `window` slacks (deque, so the
+        # per-epoch average needs no slice allocation); cumulative mode
+        # (window=None, eq. 5 literally) maintains a running left-to-right
+        # sum, which is bit-identical to re-summing the full history while
+        # avoiding the O(epochs) rescan every update.
+        self._slacks_s: "deque[float]" = deque(maxlen=window)
+        self._running_sum = 0.0
         self._epochs = 0
         self._history: List[float] = []
         self._last_average = 0.0
@@ -138,15 +145,17 @@ class SlackTracker:
         """Add one epoch's observation and return the new average slack ratio L_i."""
         if execution_time_s < 0 or overhead_time_s < 0:
             raise ValueError("times must be non-negative")
-        self._slacks_s.append(
-            self.reference_time_s - execution_time_s - overhead_time_s
-        )
-        self._epochs += 1
+        reference = self.reference_time_s
+        slack = reference - execution_time_s - overhead_time_s
+        slacks = self._slacks_s
+        slacks.append(slack)
+        epochs = self._epochs + 1
+        self._epochs = epochs
         if self.window is None:
-            considered = self._slacks_s
+            self._running_sum += slack
+            average = self._running_sum / (epochs * reference)
         else:
-            considered = self._slacks_s[-self.window:]
-        average = sum(considered) / (len(considered) * self.reference_time_s)
+            average = sum(slacks) / (len(slacks) * reference)
         self._history.append(average)
         self._last_average = average
         return average
@@ -186,6 +195,7 @@ class SlackTracker:
         if reference_time_s > 0:
             self.reference_time_s = reference_time_s
         self._slacks_s.clear()
+        self._running_sum = 0.0
         self._epochs = 0
         self._history.clear()
         self._last_average = 0.0

@@ -98,6 +98,8 @@ class RLGovernor(Governor):
         self._pending_action: Optional[int] = None
         self._last_overhead_s = 0.0
         self._reward_history: List[float] = []
+        self._overhead_learning_s = self.config.overhead.epoch_overhead_s(learning=True)
+        self._overhead_exploiting_s = self.config.overhead.epoch_overhead_s(learning=False)
 
     # -- lifecycle ------------------------------------------------------------------
     def setup(self, platform: PlatformInfo, requirement: PerformanceRequirement) -> None:
@@ -122,6 +124,10 @@ class RLGovernor(Governor):
         self._pending_action = None
         self._last_overhead_s = 0.0
         self._reward_history = []
+        # The per-epoch overheads are constants of the overhead model; the
+        # hot loop picks one of the two instead of re-deriving them.
+        self._overhead_learning_s = config.overhead.epoch_overhead_s(learning=True)
+        self._overhead_exploiting_s = config.overhead.epoch_overhead_s(learning=False)
 
     def _make_state_space(self) -> StateSpace:
         """State space used by the single-cluster formulation (capacity normalisation)."""
@@ -177,6 +183,16 @@ class RLGovernor(Governor):
         return self.agent.exploration_draws if self._agent else 0
 
     @property
+    def exploration_frozen(self) -> bool:
+        """True once the ε schedule has decayed for good (pure exploitation).
+
+        ε never rises within a run, so once the agent is exploiting the
+        exploration phase length is final and engines may stop polling
+        :attr:`exploration_count`.
+        """
+        return self._agent is not None and self._agent.is_exploiting
+
+    @property
     def converged_epoch(self) -> Optional[int]:
         """Epoch at which the learnt policy settled (Table III quantity)."""
         return self._convergence.converged_epoch
@@ -217,7 +233,9 @@ class RLGovernor(Governor):
         previous: Optional[EpochObservation],
         hint: Optional[FrameHint] = None,
     ) -> int:
-        agent = self.agent
+        agent = self._agent
+        if agent is None:
+            raise ConfigurationError("RLGovernor used before setup()")
         if previous is None:
             # First epoch: nothing has been observed yet.  Start from the
             # fastest operating point (performance-safe) and remember the
@@ -228,52 +246,54 @@ class RLGovernor(Governor):
             agent.qtable.record_visit(initial_state, initial_action)
             self._pending_state = initial_state
             self._pending_action = initial_action
-            self._last_overhead_s = self.config.overhead.epoch_overhead_s(learning=True)
+            self._last_overhead_s = self._overhead_learning_s
             return initial_action
 
-        # (1) Pay-off for the epoch that just finished (eqs. 4 and 5).
-        average_slack = self.slack_tracker.update(
-            previous.busy_time_s, previous.overhead_time_s
-        )
-        slack_delta = self.slack_tracker.slack_delta
-        progress_reward = compute_reward(average_slack, slack_delta, self.config.reward)
-        reward = compute_reward(
-            average_slack,
-            slack_delta,
-            self.config.reward,
-            instantaneous_slack=self.slack_tracker.last_instantaneous_slack,
-        )
+        # (1) Pay-off for the epoch that just finished (eqs. 4 and 5).  The
+        # full pay-off differs from the progress pay-off only by the
+        # per-frame miss penalty, so one evaluation serves both.
+        tracker = self._slack_tracker
+        reward_params = self.config.reward
+        average_slack = tracker.update(previous.busy_time_s, previous.overhead_time_s)
+        slack_delta = tracker.slack_delta
+        progress_reward = compute_reward(average_slack, slack_delta, reward_params)
+        reward = progress_reward
+        instantaneous_slack = tracker.last_instantaneous_slack
+        if instantaneous_slack < 0.0:
+            reward -= reward_params.miss_penalty_weight * (-instantaneous_slack)
         self._reward_history.append(reward)
 
         # (3) Predict the next epoch's workload (eq. 1) and map to a state.
         actual_workload = self._observed_workload(previous)
         self._range_tracker.observe(actual_workload)
-        predicted_workload = self.predictor.observe(actual_workload)
-        next_state = self.state_space.state_index(
+        predicted_workload = self._predictor.observe(actual_workload)
+        next_state = self._state_space.state_index(
             self._normalised_prediction(predicted_workload), average_slack
         )
 
-        # (2) Update the Q-table entry for the previous state-action (eq. 3).
+        # (2) Update the Q-table entry for the previous state-action (eq. 3)
+        # and select the action for the next epoch, in one fused agent call.
         if self._pending_state is not None and self._pending_action is not None:
-            agent.update(
+            action, _sampled, exploiting = agent.update_and_select(
                 self._pending_state,
                 self._pending_action,
                 reward,
                 next_state,
+                average_slack,
                 progress_reward=progress_reward,
             )
-
-        # (3 continued) Select the action for the next epoch.
-        action, _sampled = agent.select_action(next_state, average_slack)
+        else:  # pragma: no cover - pending pair always exists after epoch 0
+            action, _sampled = agent.select_action(next_state, average_slack)
+            exploiting = agent.is_exploiting
         self._convergence.observe(
             action,
-            explored=not agent.is_exploiting,
+            explored=not exploiting,
             policy_changed=agent.last_update_changed_policy,
         )
         self._pending_state = next_state
         self._pending_action = action
-        self._last_overhead_s = self.config.overhead.epoch_overhead_s(
-            learning=not agent.is_exploiting
+        self._last_overhead_s = (
+            self._overhead_exploiting_s if exploiting else self._overhead_learning_s
         )
         return action
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, StateSpaceError
 
@@ -95,6 +95,7 @@ class WorkloadRangeTracker:
         self.margin = margin
         self._low: float = float("inf")
         self._high: float = float("-inf")
+        self._cached_bounds: Optional[Tuple[float, float]] = None
 
     @property
     def has_observations(self) -> bool:
@@ -103,18 +104,32 @@ class WorkloadRangeTracker:
 
     @property
     def bounds(self) -> Tuple[float, float]:
-        """The (low, high) bounds of the characterised range including margin."""
+        """The (low, high) bounds of the characterised range including margin.
+
+        Recomputed only when an observation widened the range: the tracker
+        is read every decision epoch but the extremes settle within the
+        first few, so the margin arithmetic is cached.
+        """
+        cached = self._cached_bounds
+        if cached is not None:
+            return cached
         if not self.has_observations:
             return (0.0, 1.0)
         span = max(self._high - self._low, 1e-9)
-        return (self._low - self.margin * span, self._high + self.margin * span)
+        bounds = (self._low - self.margin * span, self._high + self.margin * span)
+        self._cached_bounds = bounds
+        return bounds
 
     def observe(self, value: float) -> None:
         """Record one observed workload value."""
         if value < 0:
             raise StateSpaceError("workload values must be non-negative")
-        self._low = min(self._low, value)
-        self._high = max(self._high, value)
+        if value < self._low:
+            self._low = value
+            self._cached_bounds = None
+        if value > self._high:
+            self._high = value
+            self._cached_bounds = None
 
     def normalise(self, value: float) -> float:
         """Map ``value`` onto [0, 1] relative to the characterised range.
@@ -134,6 +149,7 @@ class WorkloadRangeTracker:
         """Forget the characterised range."""
         self._low = float("inf")
         self._high = float("-inf")
+        self._cached_bounds = None
 
 
 class StateSpace:
@@ -166,6 +182,16 @@ class StateSpace:
         self.workload_discretizer = Discretizer(0.0, 1.0, workload_levels)
         self.slack_discretizer = Discretizer(slack_bounds[0], slack_bounds[1], slack_levels)
         self.normalisation = normalisation
+        # state_index() runs once per decision epoch; the discretizer
+        # constants are hoisted so the mapping is pure local arithmetic
+        # (same subtraction/division/int truncation as Discretizer.level).
+        self._slack_levels = self.slack_discretizer.levels
+        self._w_lower = self.workload_discretizer.lower
+        self._w_span = self.workload_discretizer.upper - self.workload_discretizer.lower
+        self._w_levels = self.workload_discretizer.levels
+        self._s_lower = self.slack_discretizer.lower
+        self._s_span = self.slack_discretizer.upper - self.slack_discretizer.lower
+        self._s_levels = self.slack_discretizer.levels
 
     # -- size ----------------------------------------------------------------------
     @property
@@ -216,10 +242,26 @@ class StateSpace:
 
     # -- state indexing -----------------------------------------------------------------
     def state_index(self, normalised_workload: float, slack: float) -> int:
-        """Map (normalised workload, slack ratio) to a Q-table row index."""
-        workload_level = self.workload_discretizer.level(normalised_workload)
-        slack_level = self.slack_discretizer.level(slack)
-        return workload_level * self.slack_levels + slack_level
+        """Map (normalised workload, slack ratio) to a Q-table row index.
+
+        Inlines :meth:`Discretizer.level` for both axes (identical
+        arithmetic, hoisted constants) — this runs once per decision epoch.
+        """
+        if normalised_workload != normalised_workload or slack != slack:  # NaN guard
+            raise StateSpaceError("cannot discretise NaN")
+        workload_level = int(
+            (normalised_workload - self._w_lower) / self._w_span * self._w_levels
+        )
+        if workload_level < 0:
+            workload_level = 0
+        elif workload_level >= self._w_levels:
+            workload_level = self._w_levels - 1
+        slack_level = int((slack - self._s_lower) / self._s_span * self._s_levels)
+        if slack_level < 0:
+            slack_level = 0
+        elif slack_level >= self._s_levels:
+            slack_level = self._s_levels - 1
+        return workload_level * self._slack_levels + slack_level
 
     def decompose(self, state_index: int) -> Tuple[int, int]:
         """Inverse of :meth:`state_index`: return (workload level, slack level)."""

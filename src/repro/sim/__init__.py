@@ -9,26 +9,43 @@ next decision.
 
 For governors whose decisions do not depend on run-time observations the
 engine transparently switches to the NumPy-vectorised trace engine in
-:mod:`repro.sim.fastpath` (see ``SimulationConfig.prefer_fast_path``).
+:mod:`repro.sim.fastpath`; every other governor runs through the
+table-driven closed-loop engine in :mod:`repro.sim.tablepath` when the
+platform is eligible (see ``SimulationConfig.prefer_fast_path``).
 """
 
-from repro.sim.epoch import FrameRecord
+from repro.sim.epoch import FrameColumns, FrameRecord
 from repro.sim.engine import SimulationConfig, SimulationEngine
 from repro.sim.fastpath import fast_path_eligible, simulate_schedule
+from repro.sim.tablepath import (
+    precompute_tables,
+    simulate_closed_loop,
+    table_path_eligible,
+)
 from repro.sim.results import SimulationResult
-from repro.sim.metrics import MetricsSummary, summarize_records, frequency_histogram
+from repro.sim.metrics import (
+    MetricsSummary,
+    summarize_records,
+    summarize_result,
+    frequency_histogram,
+)
 from repro.sim.runner import ExperimentRunner, GovernorFactory
 from repro.sim.comparison import ComparisonRow, compare_to_oracle
 
 __all__ = [
+    "FrameColumns",
     "FrameRecord",
     "SimulationConfig",
     "SimulationEngine",
     "SimulationResult",
     "fast_path_eligible",
     "simulate_schedule",
+    "precompute_tables",
+    "simulate_closed_loop",
+    "table_path_eligible",
     "MetricsSummary",
     "summarize_records",
+    "summarize_result",
     "frequency_histogram",
     "ExperimentRunner",
     "GovernorFactory",

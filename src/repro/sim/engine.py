@@ -4,6 +4,17 @@ One engine instance owns one :class:`~repro.platform.cluster.Cluster` and
 runs one application under one governor at a time, producing a
 :class:`~repro.sim.results.SimulationResult` with a per-epoch record of
 time, energy and governor behaviour.
+
+Three execution strategies share this entry point, selected automatically
+per run (fastest eligible wins, scalar always correct):
+
+1. the **vectorised trace engine** (:mod:`repro.sim.fastpath`) for
+   governors that expose a static schedule — no per-frame loop at all;
+2. the **table-driven closed-loop engine** (:mod:`repro.sim.tablepath`)
+   for every other governor on an eligible platform — the loop remains
+   (decisions are observation-dependent) but all physics is precomputed;
+3. the **scalar engine** below — the universal fallback (thermally-enabled
+   clusters, NumPy-less installs, ``prefer_fast_path=False``).
 """
 
 from __future__ import annotations
@@ -14,7 +25,7 @@ from typing import Optional, Sequence, Tuple
 from repro.errors import SimulationError
 from repro.platform.cluster import Cluster
 from repro.rtm.governor import EpochObservation, FrameHint, Governor, PlatformInfo
-from repro.sim import fastpath
+from repro.sim import fastpath, tablepath
 from repro.sim.epoch import FrameRecord
 from repro.sim.results import SimulationResult
 from repro.workload.application import Application
@@ -41,15 +52,16 @@ class SimulationConfig:
         Operating-point index in force before the first decision; ``None``
         selects the fastest point (the after-boot default).
     prefer_fast_path:
-        If True (default) the engine probes the governor with
-        :meth:`~repro.rtm.governor.Governor.static_schedule` and, when the
-        governor's decisions are observation-independent and the platform
-        is eligible (NumPy available, thermal model disabled), runs the
-        whole trace through the vectorised engine in
-        :mod:`repro.sim.fastpath` instead of the frame-by-frame loop.
-        Results agree with the scalar engine to ~1e-9 relative tolerance;
-        set False to force the scalar engine (e.g. for bit-exact
-        regression comparisons against archived scalar results).
+        If True (default) the engine picks the fastest eligible strategy:
+        governors whose decisions are observation-independent (probed with
+        :meth:`~repro.rtm.governor.Governor.static_schedule`) run through
+        the vectorised engine in :mod:`repro.sim.fastpath`; every other
+        governor runs through the table-driven closed-loop engine in
+        :mod:`repro.sim.tablepath` when the platform is eligible (NumPy
+        available, thermal model disabled).  Both reproduce the scalar
+        engine to ~1e-9 relative tolerance with identical decision
+        trajectories; set False to force the scalar engine (e.g. for
+        bit-exact regression comparisons against archived scalar results).
     """
 
     idle_until_deadline: bool = True
@@ -104,17 +116,44 @@ def _epoch_outputs(
 
 
 class SimulationEngine:
-    """Runs applications under governors on a cluster model."""
+    """Runs applications under governors on a cluster model.
 
-    def __init__(self, cluster: Cluster, config: Optional[SimulationConfig] = None) -> None:
+    Parameters
+    ----------
+    cluster:
+        The platform model to execute on.
+    config:
+        Engine behaviour switches (see :class:`SimulationConfig`).
+    table_provider:
+        Optional callable ``(cluster, application, config) -> WorkloadTable``
+        invoked when (and only when) a run takes the table-driven
+        closed-loop path.  Callers that run many scenarios over the same
+        application and cluster (the campaign executor) supply a caching
+        provider here so the precomputed physics is shared; ``None`` builds
+        fresh tables per run.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[SimulationConfig] = None,
+        table_provider: Optional[tablepath.TableProvider] = None,
+    ) -> None:
         self.cluster = cluster
         self.config = config or SimulationConfig()
+        self.table_provider = table_provider
         self._last_used_fast_path = False
+        self._last_used_table_path = False
 
     @property
     def last_used_fast_path(self) -> bool:
         """True when the most recent :meth:`run` took the vectorised fast path."""
         return self._last_used_fast_path
+
+    @property
+    def last_used_table_path(self) -> bool:
+        """True when the most recent :meth:`run` took the table-driven closed loop."""
+        return self._last_used_table_path
 
     def platform_info(self) -> PlatformInfo:
         """Static platform description handed to governors at setup."""
@@ -150,9 +189,11 @@ class SimulationEngine:
 
         governor.setup(self.platform_info(), application.requirement)
 
-        # Fast path: observation-independent governors on an eligible
-        # platform skip the closed loop entirely and run vectorised.
+        # Strategy selection: observation-independent governors skip the
+        # closed loop entirely (vectorised); everything else takes the
+        # table-driven loop when eligible, else the scalar loop.
         self._last_used_fast_path = False
+        self._last_used_table_path = False
         if config.prefer_fast_path and fastpath.fast_path_eligible(self.cluster):
             schedule = governor.static_schedule(application)
             if schedule is not None:
@@ -161,7 +202,23 @@ class SimulationEngine:
                 )
                 self._last_used_fast_path = True
                 return result
+            tables = None
+            if self.table_provider is not None:
+                tables = self.table_provider(self.cluster, application, config)
+            result = tablepath.simulate_closed_loop(
+                self.cluster, application, governor, config, tables=tables
+            )
+            self._last_used_table_path = True
+            return result
 
+        return self._run_scalar(application, governor)
+
+    def _run_scalar(
+        self, application: Application, governor: Governor
+    ) -> SimulationResult:
+        """The frame-by-frame scalar loop — the universal fallback."""
+        config = self.config
+        cluster = self.cluster
         result = SimulationResult(
             governor_name=governor.name,
             application_name=application.name,
@@ -169,28 +226,50 @@ class SimulationEngine:
         )
         previous_observation: Optional[EpochObservation] = None
         previous_exploration_count = governor.exploration_count
+        exploration_frozen = governor.exploration_frozen
+        charge_overhead = config.charge_governor_overhead
+        idle_until_deadline = config.idle_until_deadline
+        # Hoisted per-frame constants: the processing overhead when it is a
+        # plain class attribute (non-learning governors), and one reusable
+        # FrameHint rebuilt in place (no governor retains hints beyond
+        # decide(); the Oracle, the only reader, consumes it immediately).
+        static_overhead = tablepath.static_processing_overhead(governor)
+        hint: Optional[FrameHint] = None
+        set_hint = object.__setattr__
+        records_append = result.records.append
 
         for frame in application:
-            per_core = frame.cycles_per_core(self.cluster.num_cores)
-            hint = FrameHint(cycles_per_core=per_core, deadline_s=frame.deadline_s)
+            per_core = frame.cycles_per_core(cluster.num_cores)
+            if hint is None:
+                hint = FrameHint(cycles_per_core=per_core, deadline_s=frame.deadline_s)
+            else:
+                set_hint(hint, "cycles_per_core", per_core)
+                set_hint(hint, "deadline_s", frame.deadline_s)
 
             operating_index = governor.decide(previous_observation, hint)
-            transition = self.cluster.set_operating_index(operating_index)
+            transition = cluster.set_operating_index(operating_index)
 
-            minimum_interval = frame.deadline_s if config.idle_until_deadline else 0.0
-            execution = self.cluster.execute_workload(
+            minimum_interval = frame.deadline_s if idle_until_deadline else 0.0
+            execution = cluster.execute_workload(
                 per_core,
                 minimum_interval_s=minimum_interval,
                 pending_transition=transition,
             )
 
             overhead = 0.0
-            if config.charge_governor_overhead:
-                overhead = governor.processing_overhead_s + transition.latency_s
+            if charge_overhead:
+                if static_overhead is None:
+                    overhead = governor.processing_overhead_s + transition.latency_s
+                else:
+                    overhead = static_overhead + transition.latency_s
 
-            exploration_count = governor.exploration_count
-            explored = exploration_count > previous_exploration_count
-            previous_exploration_count = exploration_count
+            if exploration_frozen:
+                explored = False
+            else:
+                exploration_count = governor.exploration_count
+                explored = exploration_count > previous_exploration_count
+                previous_exploration_count = exploration_count
+                exploration_frozen = governor.exploration_frozen
 
             record, previous_observation = _epoch_outputs(
                 frame_index=frame.index,
@@ -200,7 +279,7 @@ class SimulationEngine:
                 overhead_s=overhead,
                 explored=explored,
             )
-            result.records.append(record)
+            records_append(record)
 
         result.exploration_count = governor.exploration_count
         result.converged_epoch = governor.converged_epoch

@@ -1,11 +1,12 @@
-"""Per-epoch (per-frame) simulation records."""
+"""Per-epoch (per-frame) simulation records and their columnar storage."""
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro._compat import SLOTS
+from repro.errors import SimulationError
 
 
 @dataclass(frozen=True, **SLOTS)
@@ -95,3 +96,125 @@ class FrameRecord:
     def total_cycles(self) -> float:
         """Total cycles over all cores in the epoch."""
         return sum(self.cycles_per_core)
+
+
+#: Column names of :class:`FrameColumns`, in :class:`FrameRecord` field order.
+FRAME_COLUMN_NAMES: Tuple[str, ...] = (
+    "index",
+    "operating_index",
+    "frequency_mhz",
+    "cycles_per_core",
+    "busy_time_s",
+    "overhead_time_s",
+    "frame_time_s",
+    "interval_s",
+    "deadline_s",
+    "energy_j",
+    "average_power_w",
+    "measured_power_w",
+    "temperature_c",
+    "explored",
+)
+
+
+class FrameColumns:
+    """Column-oriented storage of a run's per-frame records.
+
+    Holds one plain-Python sequence per :class:`FrameRecord` field, all of
+    equal length.  The fast-path engines produce their results in this form
+    so that no ``FrameRecord`` is allocated inside (or right after) the hot
+    loop; :class:`~repro.sim.results.SimulationResult` materialises records
+    lazily — only if a caller actually iterates ``result.records`` — while
+    totals, metrics and reports read the columns directly.
+
+    Columns are stored as lists of native Python scalars (``cycles_per_core``
+    as a list of per-core tuples), which keeps the container picklable for
+    the campaign process-pool backend and keeps ``sum()``/comparison
+    semantics bit-identical to iterating materialised records.
+    """
+
+    __slots__ = tuple(FRAME_COLUMN_NAMES)
+
+    def __init__(
+        self,
+        index: Sequence[int],
+        operating_index: Sequence[int],
+        frequency_mhz: Sequence[float],
+        cycles_per_core: Sequence[Tuple[float, ...]],
+        busy_time_s: Sequence[float],
+        overhead_time_s: Sequence[float],
+        frame_time_s: Sequence[float],
+        interval_s: Sequence[float],
+        deadline_s: Sequence[float],
+        energy_j: Sequence[float],
+        average_power_w: Sequence[float],
+        measured_power_w: Sequence[float],
+        temperature_c: Sequence[float],
+        explored: Sequence[bool],
+    ) -> None:
+        self.index = list(index)
+        self.operating_index = list(operating_index)
+        self.frequency_mhz = list(frequency_mhz)
+        self.cycles_per_core = list(cycles_per_core)
+        self.busy_time_s = list(busy_time_s)
+        self.overhead_time_s = list(overhead_time_s)
+        self.frame_time_s = list(frame_time_s)
+        self.interval_s = list(interval_s)
+        self.deadline_s = list(deadline_s)
+        self.energy_j = list(energy_j)
+        self.average_power_w = list(average_power_w)
+        self.measured_power_w = list(measured_power_w)
+        self.temperature_c = list(temperature_c)
+        self.explored = list(explored)
+        length = len(self.index)
+        for name in FRAME_COLUMN_NAMES:
+            if len(getattr(self, name)) != length:
+                raise SimulationError(
+                    f"frame column {name!r} has {len(getattr(self, name))} entries, "
+                    f"expected {length}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def record(self, position: int) -> FrameRecord:
+        """Materialise the :class:`FrameRecord` at ``position``."""
+        return FrameRecord(
+            self.index[position],
+            self.operating_index[position],
+            self.frequency_mhz[position],
+            self.cycles_per_core[position],
+            self.busy_time_s[position],
+            self.overhead_time_s[position],
+            self.frame_time_s[position],
+            self.interval_s[position],
+            self.deadline_s[position],
+            self.energy_j[position],
+            self.average_power_w[position],
+            self.measured_power_w[position],
+            self.temperature_c[position],
+            self.explored[position],
+        )
+
+    def materialize(self) -> List[FrameRecord]:
+        """Materialise every record (one allocation per frame, outside any hot loop)."""
+        make = FrameRecord
+        return [
+            make(*row)
+            for row in zip(
+                self.index,
+                self.operating_index,
+                self.frequency_mhz,
+                self.cycles_per_core,
+                self.busy_time_s,
+                self.overhead_time_s,
+                self.frame_time_s,
+                self.interval_s,
+                self.deadline_s,
+                self.energy_j,
+                self.average_power_w,
+                self.measured_power_w,
+                self.temperature_c,
+                self.explored,
+            )
+        ]

@@ -48,7 +48,7 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 
 from repro.errors import SimulationError
 from repro.platform.dvfs import DVFSTransition
-from repro.sim.epoch import FrameRecord
+from repro.sim.epoch import FrameColumns
 from repro.sim.results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -123,12 +123,9 @@ def simulate_schedule(
 
     # -- per-operating-point power tables (constant temperature) --------------
     temperature_c = cluster.thermal_model.temperature_c
-    busy_power_w = np.array(
-        [cluster.core_power_w(i, True, temperature_c) for i in range(len(points))]
-    )
-    idle_power_w = np.array(
-        [cluster.core_power_w(i, False, temperature_c) for i in range(len(points))]
-    )
+    busy_list, idle_list = cluster.power_model.power_table(points, temperature_c)
+    busy_power_w = np.array(busy_list)
+    idle_power_w = np.array(idle_list)
 
     # -- timing ----------------------------------------------------------------
     busy_times = cycles * seconds_per_cycle[indices][:, None]
@@ -181,47 +178,31 @@ def simulate_schedule(
     timestamps = np.cumsum(np.concatenate(((cluster.time_s,), durations)))[1:].tolist()
     measured = cluster.power_sensor.measure_trace(average_powers.tolist(), timestamps)
 
-    # -- per-frame records -----------------------------------------------------
-    frequency_mhz = [point.frequency_mhz for point in points]
+    # -- columnar per-frame results (records materialise lazily) ---------------
+    frequency_mhz = np.array([point.frequency_mhz for point in points])
     index_list = indices.tolist()
-
+    columns = FrameColumns(
+        index=list(range(num_frames)),
+        operating_index=index_list,
+        frequency_mhz=frequency_mhz[indices].tolist(),
+        cycles_per_core=[tuple(row) for row in cycles.tolist()],
+        busy_time_s=busy_max.tolist(),
+        overhead_time_s=overheads.tolist(),
+        frame_time_s=frame_times.tolist(),
+        interval_s=durations.tolist(),
+        deadline_s=deadlines.tolist(),
+        energy_j=energies.tolist(),
+        average_power_w=average_powers.tolist(),
+        measured_power_w=list(measured),
+        temperature_c=[temperature_c] * num_frames,
+        explored=[False] * num_frames,
+    )
     result = SimulationResult(
         governor_name=governor.name,
         application_name=application.name,
         reference_time_s=application.reference_time_s,
+        columns=columns,
     )
-    append = result.records.append
-    rows = zip(
-        index_list,
-        cycles.tolist(),
-        busy_max.tolist(),
-        overheads.tolist(),
-        frame_times.tolist(),
-        durations.tolist(),
-        deadlines.tolist(),
-        energies.tolist(),
-        average_powers.tolist(),
-        measured,
-    )
-    for row, (opp, row_cycles, busy, overhead, frame_time, interval, deadline, energy, power, measured_w) in enumerate(rows):
-        append(
-            FrameRecord(
-                row,
-                opp,
-                frequency_mhz[opp],
-                tuple(row_cycles),
-                busy,
-                overhead,
-                frame_time,
-                interval,
-                deadline,
-                energy,
-                power,
-                measured_w,
-                temperature_c,
-                False,
-            )
-        )
 
     # -- leave the cluster in scalar-equivalent aggregate state ----------------
     # Scalar runs record one DVFSTransition per actual change, stamped with

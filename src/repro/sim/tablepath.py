@@ -1,0 +1,342 @@
+"""Table-driven closed-loop engine — O(1) physics per frame.
+
+The vectorised engine in :mod:`repro.sim.fastpath` eliminates the per-frame
+loop entirely, but only for governors whose schedule is knowable up front.
+The paper's actual contribution — the closed-loop Q-learning RTM — and its
+Linux baselines (ondemand, conservative) cannot be vectorised: frame *i*'s
+operating point depends on what the governor observed during frame *i - 1*.
+
+What *can* be precomputed is the physics.  With the thermal model disabled
+(the paper's setting) every quantity :meth:`Cluster.execute_workload
+<repro.platform.cluster.Cluster.execute_workload>` derives is a pure
+function of ``(frame, operating_index)`` plus two transition constants.
+:func:`simulate_closed_loop` therefore asks the cluster for its
+:class:`~repro.platform.cluster.WorkloadTable` — busy time, interval and
+energy for every (frame, operating point) pair, built with the scalar
+engine's exact IEEE operations — and the per-frame loop collapses to the
+governor's ``decide()`` plus a handful of list lookups: no core model, no
+power model, no ``FrameRecord`` allocation (results are columnar, see
+:class:`~repro.sim.epoch.FrameColumns`).
+
+Because every observed quantity (busy time, interval, energy, measured
+power, overhead) is bit-identical to the scalar engine's — and the stateful
+power sensor is *driven*, not re-implemented — any deterministic governor
+makes the identical decision sequence, so results match the scalar engine
+frame by frame: 1e-9 relative tolerance on every float, identical
+deadline-miss sets, identical exploration counts and final Q-tables
+(``tests/test_tablepath.py`` enforces all of this).
+
+Eligibility mirrors the vectorised fast path: NumPy importable, thermal
+model disabled.  The scalar engine remains the universal fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+try:  # NumPy is optional: without it every run takes the scalar engine.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None  # type: ignore[assignment]
+
+from repro.errors import InvalidOperatingPointError, SimulationError
+from repro.platform.dvfs import DVFSTransition
+from repro.rtm.governor import EpochObservation, FrameHint
+from repro.sim import fastpath
+from repro.sim.epoch import FrameColumns
+from repro.sim.results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.cluster import Cluster, WorkloadTable
+    from repro.rtm.governor import Governor
+    from repro.sim.engine import SimulationConfig
+    from repro.workload.application import Application
+
+#: Signature of a table provider: builds (or fetches from a cache) the
+#: precomputed :class:`WorkloadTable` for one (cluster, application, config).
+TableProvider = Callable[["Cluster", "Application", "SimulationConfig"], "WorkloadTable"]
+
+
+def table_path_eligible(cluster: "Cluster") -> bool:
+    """True when :func:`simulate_closed_loop` reproduces the scalar engine here.
+
+    Same probe as :func:`repro.sim.fastpath.fast_path_eligible`: NumPy must
+    be importable and the cluster's thermal model disabled (constant
+    junction temperature, hence per-operating-point physics constant over
+    the trace).
+    """
+    return _np is not None and not cluster.thermal_model.enabled
+
+
+def precompute_tables(
+    cluster: "Cluster", application: "Application", config: "SimulationConfig"
+) -> "WorkloadTable":
+    """Precompute the (frame, operating point) physics tables for one run.
+
+    Thin wrapper over :meth:`Cluster.execute_workload_table` that extracts
+    the frame trace from ``application``.  The returned table depends only
+    on the application's trace, the cluster's physical constants and
+    ``config.idle_until_deadline`` — it is reusable across runs (and across
+    governors) sharing those, which is what the campaign executor's
+    per-worker table cache exploits.
+    """
+    num_cores = cluster.num_cores
+    cycles = [frame.cycles_per_core(num_cores) for frame in application]
+    deadlines = [frame.deadline_s for frame in application]
+    return cluster.execute_workload_table(
+        cycles, deadlines, idle_until_deadline=config.idle_until_deadline
+    )
+
+
+def simulate_closed_loop(
+    cluster: "Cluster",
+    application: "Application",
+    governor: "Governor",
+    config: "SimulationConfig",
+    tables: Optional["WorkloadTable"] = None,
+) -> SimulationResult:
+    """Run the closed governor loop with table-driven physics.
+
+    The cluster is used as-is (the caller resets it first, exactly as the
+    scalar engine does) and is left in scalar-equivalent aggregate state:
+    clock advanced, energy meter and PMUs credited, power sensor stepped
+    through every frame, DVFS actuator holding the same transition history.
+
+    ``tables`` may be supplied by a caller that cached them (see
+    :func:`precompute_tables`); they are validated against the cluster's
+    physics before use and rebuilt on mismatch.
+    """
+    np = _np
+    if np is None:
+        raise SimulationError("the table-driven closed-loop engine requires numpy")
+    if cluster.thermal_model.enabled:
+        raise SimulationError(
+            "the table-driven closed-loop engine requires a disabled thermal "
+            "model (temperature-dependent leakage needs the scalar engine)"
+        )
+    num_frames = application.num_frames
+    if num_frames == 0:
+        raise SimulationError("cannot simulate an application with no frames")
+    if tables is None or tables.num_frames != num_frames or not tables.matches(
+        cluster, config.idle_until_deadline
+    ):
+        tables = precompute_tables(cluster, application, config)
+
+    num_points = tables.num_points
+    cycles_tuples = tables.cycles_tuples
+    deadlines = tables.deadlines_s.tolist()
+    max_cycles = tables.max_cycles
+    seconds_per_cycle = tables.seconds_per_cycle
+    energy_rows = tables.energy_rows
+    temperature_c = tables.temperature_c
+    pad_to_deadline = tables.idle_until_deadline
+
+    dvfs = cluster.dvfs
+    latency_s = dvfs.transition_latency_s
+    transition_energy_j = dvfs.transition_energy_j
+    sensor_measure = cluster.power_sensor.measure_w
+    charge_overhead = config.charge_governor_overhead
+    decide = governor.decide
+
+    # Hoist the governor's processing overhead when it is a plain class
+    # attribute (every non-learning governor); learning governors expose it
+    # as a property whose value changes per epoch and are read per frame.
+    static_overhead = static_processing_overhead(governor)
+
+    # One reusable FrameHint: frozen, but rebuilt in place each frame via
+    # object.__setattr__.  Safe because the hint is documented as valid only
+    # inside decide() — no governor retains it (the Oracle, the only reader,
+    # consumes it immediately).
+    hint = FrameHint(cycles_per_core=cycles_tuples[0], deadline_s=deadlines[0])
+    set_hint = object.__setattr__
+
+    initial_index = cluster.current_index
+    current = initial_index
+    initial_time_s = cluster.time_s
+    time_s = initial_time_s
+    previous: Optional[EpochObservation] = None
+    previous_exploration = governor.exploration_count
+    exploration_frozen = governor.exploration_frozen
+    transitions: List[DVFSTransition] = []
+
+    # Column accumulators (lists of native scalars; see FrameColumns).
+    col_opp: List[int] = []
+    col_busy: List[float] = []
+    col_overhead: List[float] = []
+    col_duration: List[float] = []
+    col_energy: List[float] = []
+    col_power: List[float] = []
+    col_measured: List[float] = []
+    col_explored: List[bool] = []
+    opp_append = col_opp.append
+    busy_append = col_busy.append
+    overhead_append = col_overhead.append
+    duration_append = col_duration.append
+    energy_append = col_energy.append
+    power_append = col_power.append
+    measured_append = col_measured.append
+    explored_append = col_explored.append
+
+    frame_rows = zip(cycles_tuples, max_cycles, deadlines, energy_rows)
+    for frame_index, (cycles, frame_max_cycles, deadline, energy_row) in enumerate(
+        frame_rows
+    ):
+        set_hint(hint, "cycles_per_core", cycles)
+        set_hint(hint, "deadline_s", deadline)
+
+        index = decide(previous, hint)
+        if index != current:
+            if not 0 <= index < num_points:
+                raise InvalidOperatingPointError(
+                    f"operating-point index {index} out of range (0..{num_points - 1})"
+                )
+            transitions.append(
+                DVFSTransition(time_s, current, index, latency_s, transition_energy_j)
+            )
+            current = index
+            transition_latency = latency_s
+            energy = energy_row[index] + transition_energy_j
+        else:
+            transition_latency = 0.0
+            energy = energy_row[index] + 0.0
+
+        # Same two operations the scalar engine performs per frame: one
+        # multiply by the hoisted reciprocal, one max against the deadline.
+        busy = frame_max_cycles * seconds_per_cycle[index]
+        if pad_to_deadline and deadline > busy:
+            duration = deadline + transition_latency
+        else:
+            duration = busy + transition_latency
+        power = energy / duration if duration > 0 else 0.0
+        time_s += duration
+        measured = sensor_measure(power, time_s)
+
+        if charge_overhead:
+            if static_overhead is None:
+                overhead = governor.processing_overhead_s + transition_latency
+            else:
+                overhead = static_overhead + transition_latency
+        else:
+            overhead = 0.0
+
+        if exploration_frozen:
+            explored = False
+        else:
+            exploration = governor.exploration_count
+            explored = exploration > previous_exploration
+            previous_exploration = exploration
+            exploration_frozen = governor.exploration_frozen
+
+        # One reusable observation, rebuilt in place (same rationale as the
+        # hint: observations are valid only inside the next decide(); no
+        # governor retains them).
+        if previous is None:
+            previous = EpochObservation(
+                frame_index,
+                cycles,
+                busy,
+                duration,
+                deadline,
+                index,
+                energy,
+                measured,
+                overhead,
+            )
+        else:
+            set_hint(previous, "epoch_index", frame_index)
+            set_hint(previous, "cycles_per_core", cycles)
+            set_hint(previous, "busy_time_s", busy)
+            set_hint(previous, "interval_s", duration)
+            set_hint(previous, "reference_time_s", deadline)
+            set_hint(previous, "operating_index", index)
+            set_hint(previous, "energy_j", energy)
+            set_hint(previous, "measured_power_w", measured)
+            set_hint(previous, "overhead_time_s", overhead)
+        opp_append(index)
+        busy_append(busy)
+        overhead_append(overhead)
+        duration_append(duration)
+        energy_append(energy)
+        power_append(power)
+        measured_append(measured)
+        explored_append(explored)
+
+    # -- columnar result (records materialise lazily) --------------------------
+    indices = np.asarray(col_opp, dtype=np.intp)
+    rows = np.arange(num_frames)
+    busy_arr = np.asarray(col_busy)
+    overhead_arr = np.asarray(col_overhead)
+    frequencies_mhz = np.asarray(tables.frequencies_mhz)
+    columns = FrameColumns(
+        index=list(range(num_frames)),
+        operating_index=col_opp,
+        frequency_mhz=frequencies_mhz[indices].tolist(),
+        cycles_per_core=cycles_tuples,
+        busy_time_s=col_busy,
+        overhead_time_s=col_overhead,
+        frame_time_s=(busy_arr + overhead_arr).tolist(),
+        interval_s=col_duration,
+        deadline_s=deadlines,
+        energy_j=col_energy,
+        average_power_w=col_power,
+        measured_power_w=col_measured,
+        temperature_c=[temperature_c] * num_frames,
+        explored=col_explored,
+    )
+    result = SimulationResult(
+        governor_name=governor.name,
+        application_name=application.name,
+        reference_time_s=application.reference_time_s,
+        columns=columns,
+    )
+
+    # -- leave the cluster in scalar-equivalent aggregate state ----------------
+    cycles_arr = tables.cycles
+    spc = np.asarray(tables.seconds_per_cycle)
+    busy_times = cycles_arr * spc[indices][:, None]
+    intervals = tables.interval[rows, indices]
+    idle_times = intervals[:, None] - busy_times
+    core_uncore_energy = tables.energy[rows, indices]
+    previous_indices = np.empty_like(indices)
+    previous_indices[0] = initial_index
+    previous_indices[1:] = indices[:-1]
+    changed = indices != previous_indices
+    transition_energy = np.where(changed, transition_energy_j, 0.0)
+    # The loop accumulated the clock sequentially, exactly as the scalar
+    # engine does; advancing by (final - initial) leaves the cluster clock
+    # bit-identical to a scalar run whenever the run started at time 0.
+    fastpath._sync_cluster(
+        cluster,
+        np,
+        cycles=cycles_arr,
+        busy_times=busy_times,
+        idle_times=idle_times,
+        frequencies_hz=np.asarray(tables.frequencies_hz),
+        indices=indices,
+        intervals=intervals,
+        core_uncore_energy=core_uncore_energy,
+        transition_energy=transition_energy,
+        transitions=transitions,
+        total_duration=time_s - initial_time_s,
+    )
+
+    result.exploration_count = governor.exploration_count
+    result.converged_epoch = governor.converged_epoch
+    return result
+
+
+def static_processing_overhead(governor: "Governor") -> Optional[float]:
+    """The governor's per-epoch overhead when hoistable, else ``None``.
+
+    Hoisting is safe exactly when ``processing_overhead_s`` resolves to a
+    plain float class attribute that is not shadowed on the instance —
+    learning governors override it as a property (its value changes per
+    epoch) and must be read every frame.
+    """
+    descriptor = getattr(type(governor), "processing_overhead_s", None)
+    if not isinstance(descriptor, float):
+        return None
+    instance_dict = getattr(governor, "__dict__", None)
+    if instance_dict is not None and "processing_overhead_s" in instance_dict:
+        return None
+    return descriptor

@@ -10,10 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro._compat import SLOTS
 from repro.errors import WorkloadError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTS)
 class Frame:
     """One periodic iteration of an application.
 
