@@ -1,6 +1,6 @@
-"""Benchmark the three simulation execution strategies and write ``BENCH_results.json``.
+"""Benchmark the simulation engine backends and write ``BENCH_results.json``.
 
-Three measurements, matching the tiers of the performance work:
+Four measurements, matching the tiers of the performance work:
 
 * **Vectorised fast path**: every static-schedule governor (performance,
   powersave, userspace, oracle) across the paper's application traces,
@@ -14,9 +14,15 @@ Three measurements, matching the tiers of the performance work:
   campaign-grid configuration where the executor's per-worker cache
   applies.  Equivalence here additionally demands identical operating-point
   trajectories, exploration counts and final Q-tables.
+* **Thermally-coupled closed loop**: the same closed-loop governors on a
+  thermally-*enabled* cluster, scalar engine vs
+  :mod:`repro.sim.thermalpath` — the scenarios closest to the paper's
+  thermally-constrained hardware, which before the thermal engine were
+  stuck on the scalar loop.  Equivalence additionally demands per-frame
+  temperatures within 1e-9 relative.
 * **Hot-loop power cache** (Tier 1): closed-loop governors with the
   cluster's per-operating-point power cache enabled vs disabled — the win
-  the scalar fallback gets even where the table path does not apply.
+  the scalar fallback gets even where the table paths do not apply.
 
 Run as a script to (re)generate the tracked perf trajectory::
 
@@ -43,7 +49,7 @@ from repro.governors.userspace import UserspaceGovernor
 from repro.platform.odroid_xu3 import build_a15_cluster
 from repro.rtm.multicore import MultiCoreRLGovernor
 from repro.rtm.rl_governor import RLGovernor
-from repro.sim import tablepath
+from repro.sim import tablepath, thermalpath
 from repro.sim.engine import SimulationConfig, SimulationEngine
 from repro.workload.fft import fft_application
 from repro.workload.video import h264_application, mpeg4_application
@@ -243,6 +249,86 @@ def bench_table_closed_loop(num_frames: int, repeats: int = 3) -> List[Dict[str,
     return rows
 
 
+def _check_thermal_equivalence(scalar_pair, thermal_pair) -> Dict[str, object]:
+    """Closed-loop equivalence plus per-frame temperatures within 1e-9."""
+    base = _check_closed_loop_equivalence(scalar_pair, thermal_pair)
+    scalar, _ = scalar_pair
+    thermal, _ = thermal_pair
+    max_temperature_err = 0.0
+    for thermal_record, scalar_record in zip(thermal.records, scalar.records):
+        max_temperature_err = max(
+            max_temperature_err,
+            abs(thermal_record.temperature_c - scalar_record.temperature_c)
+            / abs(scalar_record.temperature_c),
+        )
+    if max_temperature_err > 1e-9:
+        raise AssertionError(
+            f"thermal path diverged: temperature rel err {max_temperature_err:.2e}"
+        )
+    return {**base, "max_rel_temperature_err": max_temperature_err}
+
+
+def bench_thermal_closed_loop(
+    num_frames: int, repeats: int = 3
+) -> List[Dict[str, object]]:
+    """Scalar vs thermally-coupled engine on a thermally-enabled cluster.
+
+    Same shape as :func:`bench_table_closed_loop` — ``cold`` builds the
+    thermal physics tables inside the measured run, ``shared`` supplies
+    prebuilt tables through a provider (the campaign configuration, which
+    also keeps the lazily-filled temperature power slices warm).
+    """
+    rows: List[Dict[str, object]] = []
+    application = mpeg4_application(num_frames=num_frames, seed=11)
+
+    def thermal_cluster():
+        return build_a15_cluster(enable_thermal=True)
+
+    shared_tables = thermalpath.precompute_tables(
+        thermal_cluster(), application, SimulationConfig()
+    )
+
+    def shared_provider(cluster, app, config):
+        return shared_tables
+
+    for gov_name, gov_factory in TABLE_GOVERNORS.items():
+
+        def scalar_run():
+            governor = gov_factory()
+            engine = SimulationEngine(thermal_cluster(), engine="scalar")
+            return engine.run(application, governor), governor
+
+        def thermal_run(provider=None):
+            governor = gov_factory()
+            engine = SimulationEngine(thermal_cluster(), table_provider=provider)
+            result = engine.run(application, governor)
+            if result.engine_used != "thermalpath":
+                raise AssertionError(f"{gov_name} did not take the thermal path")
+            return result, governor
+
+        equivalence = _check_thermal_equivalence(scalar_run(), thermal_run())
+        scalar_s = _best_of(lambda: scalar_run(), repeats)
+        cold_s = _best_of(lambda: thermal_run(), repeats)
+        shared_s = _best_of(lambda: thermal_run(shared_provider), repeats)
+        rows.append(
+            {
+                "scenario": f"mpeg4/{gov_name}",
+                "governor": gov_name,
+                "frames": num_frames,
+                "scalar_wall_s": scalar_s,
+                "thermal_wall_s": shared_s,
+                "cold_thermal_wall_s": cold_s,
+                "scalar_frames_per_s": num_frames / scalar_s,
+                "thermal_frames_per_s": num_frames / shared_s,
+                "cold_thermal_frames_per_s": num_frames / cold_s,
+                "speedup": scalar_s / shared_s,
+                "speedup_cold_tables": scalar_s / cold_s,
+                **equivalence,
+            }
+        )
+    return rows
+
+
 def bench_power_cache(num_frames: int, repeats: int = 3) -> List[Dict[str, object]]:
     """Closed-loop governors with the Tier-1 power cache on vs off."""
     rows: List[Dict[str, object]] = []
@@ -279,9 +365,11 @@ def bench_power_cache(num_frames: int, repeats: int = 3) -> List[Dict[str, objec
 def run_suite(num_frames: int, repeats: int, smoke: bool) -> Dict[str, object]:
     vectorized = bench_vectorized(num_frames, repeats)
     table = bench_table_closed_loop(num_frames, repeats)
+    thermal = bench_thermal_closed_loop(num_frames, repeats)
     tier1 = bench_power_cache(num_frames, repeats)
     speedups = [row["speedup"] for row in vectorized]
     table_speedups = {row["governor"]: row["speedup"] for row in table}
+    thermal_speedups = {row["governor"]: row["speedup"] for row in thermal}
     return {
         "generated_by": "benchmarks/bench_fastpath.py",
         "mode": "smoke" if smoke else "full",
@@ -289,6 +377,7 @@ def run_suite(num_frames: int, repeats: int, smoke: bool) -> Dict[str, object]:
         "repeats": repeats,
         "vectorized_fast_path": vectorized,
         "table_closed_loop": table,
+        "thermal_closed_loop": thermal,
         "tier1_power_cache": tier1,
         "summary": {
             "vectorized_speedup_min": min(speedups),
@@ -296,6 +385,8 @@ def run_suite(num_frames: int, repeats: int, smoke: bool) -> Dict[str, object]:
             "vectorized_speedup_max": max(speedups),
             "table_closed_loop_speedup": table_speedups,
             "table_closed_loop_speedup_min": min(table_speedups.values()),
+            "thermal_closed_loop_speedup": thermal_speedups,
+            "thermal_closed_loop_speedup_min": min(thermal_speedups.values()),
             "tier1_cache_win_percent": {
                 row["governor"]: row["win_percent"] for row in tier1
             },
@@ -334,6 +425,30 @@ def test_bench_table_closed_loop_speedup_and_equivalence():
         if row["governor"] == "rl":  # the learning scenario compares Q-tables
             assert row["qtables_identical"] is True
         assert row["max_rel_energy_err"] <= 1e-9
+        # Conservative floors for noisy CI boxes; the tracked numbers in
+        # BENCH_results.json carry the actual speedups (>= 3x per scenario
+        # on the reference box).
+        assert row["speedup"] >= 2.0
+    reactive = [r["speedup"] for r in rows if r["governor"] in ("ondemand", "conservative")]
+    assert min(reactive) >= 3.0
+
+
+def test_bench_thermal_closed_loop_speedup_and_equivalence():
+    rows = bench_thermal_closed_loop(num_frames=600, repeats=2)
+    print()
+    for row in rows:
+        print(
+            f"{row['scenario']:24s} scalar {row['scalar_frames_per_s']:9.0f} f/s  "
+            f"thermal {row['thermal_frames_per_s']:8.0f} f/s  "
+            f"({row['speedup']:.1f}x shared, {row['speedup_cold_tables']:.1f}x cold)"
+        )
+    for row in rows:
+        assert row["miss_sets_identical"]
+        assert row["exploration_counts_identical"]
+        if row["governor"] == "rl":  # the learning scenario compares Q-tables
+            assert row["qtables_identical"] is True
+        assert row["max_rel_energy_err"] <= 1e-9
+        assert row["max_rel_temperature_err"] <= 1e-9
         # Conservative floors for noisy CI boxes; the tracked numbers in
         # BENCH_results.json carry the actual speedups (>= 3x per scenario
         # on the reference box).
@@ -384,6 +499,12 @@ def main() -> None:
         print(
             f"  {row['scenario']:24s} {row['scalar_frames_per_s']:9.0f} -> "
             f"{row['table_frames_per_s']:10.0f} frames/s  "
+            f"({row['speedup']:.1f}x shared, {row['speedup_cold_tables']:.1f}x cold)"
+        )
+    for row in results["thermal_closed_loop"]:
+        print(
+            f"  thermal/{row['scenario']:16s} {row['scalar_frames_per_s']:9.0f} -> "
+            f"{row['thermal_frames_per_s']:10.0f} frames/s  "
             f"({row['speedup']:.1f}x shared, {row['speedup_cold_tables']:.1f}x cold)"
         )
     for row in results["tier1_power_cache"]:

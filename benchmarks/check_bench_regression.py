@@ -30,6 +30,9 @@ GATED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("table_closed_loop", "table_frames_per_s"),
     ("table_closed_loop", "cold_table_frames_per_s"),
     ("table_closed_loop", "scalar_frames_per_s"),
+    ("thermal_closed_loop", "thermal_frames_per_s"),
+    ("thermal_closed_loop", "cold_thermal_frames_per_s"),
+    ("thermal_closed_loop", "scalar_frames_per_s"),
     ("tier1_power_cache", "cached_frames_per_s"),
 )
 

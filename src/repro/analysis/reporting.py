@@ -58,9 +58,10 @@ def format_comparison_rows(rows: Sequence[ComparisonRow], title: str = "") -> st
 def format_campaign_summary(store: "CampaignResult", title: str = "") -> str:
     """Render a campaign result store as a failure-aware ASCII table.
 
-    ``done`` scenarios show their headline metrics; ``failed`` ones show
-    the captured error (first line, truncated) in place of numbers, plus
-    the attempt count — so a partially failed campaign reads at a glance.
+    ``done`` scenarios show their headline metrics and the engine backend
+    that produced them (``result.engine_used``); ``failed`` ones show the
+    captured error (first line, truncated) in place of numbers, plus the
+    attempt count — so a partially failed campaign reads at a glance.
     A done/failed tally follows the table.
     """
     rows: List[Sequence[str]] = []
@@ -77,6 +78,7 @@ def format_campaign_summary(store: "CampaignResult", title: str = "") -> str:
                 (
                     outcome.label,
                     outcome.status,
+                    result.engine_used or "-",
                     f"{summary.total_energy_j:.2f}",
                     f"{normalized_performance:.2f}",
                     f"{summary.deadline_miss_ratio:.1%}",
@@ -89,10 +91,28 @@ def format_campaign_summary(store: "CampaignResult", title: str = "") -> str:
             if len(error) > 60:
                 error = error[:57] + "..."
             rows.append(
-                (outcome.label, outcome.status, "-", "-", "-", str(outcome.attempts), error)
+                (
+                    outcome.label,
+                    outcome.status,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    str(outcome.attempts),
+                    error,
+                )
             )
     table = format_table(
-        headers=["Scenario", "Status", "Energy (J)", "Norm. perf", "Miss", "Attempts", "Error"],
+        headers=[
+            "Scenario",
+            "Status",
+            "Engine",
+            "Energy (J)",
+            "Norm. perf",
+            "Miss",
+            "Attempts",
+            "Error",
+        ],
         rows=rows,
         title=title or f"campaign {store.campaign_name!r}",
     )

@@ -6,6 +6,7 @@ Usage::
     repro-campaign spec.json --resume results.json --output results.json
     repro-campaign spec.json --checkpoint ckpt.json --checkpoint-every 5 --retries 2
     repro-campaign spec.json --shard 0/2 --output shard0.json
+    repro-campaign spec.json --engine scalar --output reference.json
     repro-campaign merge shard0.json shard1.json --spec spec.json --output merged.json
     repro-campaign --list
 
@@ -27,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_campaign_summary
@@ -40,6 +42,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.campaign.registry import registered_names
 from repro.campaign.results import CampaignResult
 from repro.campaign.spec import CampaignSpec
+from repro.sim import backends as sim_backends
 
 #: Everything spec/results parsing+validation can raise: I/O and JSON errors,
 #: missing keys, spec validation, unexpected fields.
@@ -135,6 +138,15 @@ def _run_main(argv: Sequence[str]) -> int:
         "(merge the shard outputs with the merge subcommand)",
     )
     parser.add_argument(
+        "--engine",
+        choices=[sim_backends.AUTO] + sim_backends.backend_names(),
+        default=None,
+        help="pin every scenario to this simulation engine backend "
+        "(overrides the specs' engine field; 'auto' negotiates the fastest "
+        "eligible backend per scenario; a scenario the named backend cannot "
+        "run fails with a capability-mismatch error)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list registered factories and exit"
     )
     parser.add_argument(
@@ -155,6 +167,14 @@ def _run_main(argv: Sequence[str]) -> int:
               file=sys.stderr)
         return EXIT_USAGE
     try:
+        if arguments.engine:
+            campaign = CampaignSpec(
+                name=campaign.name,
+                scenarios=tuple(
+                    replace(scenario, engine=arguments.engine)
+                    for scenario in campaign.scenarios
+                ),
+            )
         if arguments.shard:
             shard_index, shard_count = _parse_shard(arguments.shard)
             campaign = campaign.shard(shard_index, shard_count)

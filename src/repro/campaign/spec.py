@@ -119,6 +119,14 @@ class ScenarioSpec:
     application_key / governor_key:
         Grid coordinates filled in by :meth:`CampaignSpec.from_grid`, used
         to select/aggregate results along grid axes.
+    engine:
+        Engine backend request for the run: ``"auto"`` (default) negotiates
+        the fastest eligible backend; a backend name (``"scalar"``,
+        ``"fastpath"``, ``"tablepath"``, ``"thermalpath"``, or a registered
+        third-party backend) pins the run to that backend.  Validated
+        against the backend's declared capabilities when the scenario runs
+        — a scenario the named backend cannot execute fails with a clear
+        capability-mismatch error instead of silently falling back.
     """
 
     label: str
@@ -130,11 +138,29 @@ class ScenarioSpec:
     probe: Optional[FactorySpec] = None
     application_key: str = ""
     governor_key: str = ""
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.engine, str) or not self.engine:
+            raise ConfigurationError(
+                f"scenario {self.label!r}: engine must be a non-empty backend "
+                f"name or 'auto', got {self.engine!r}"
+            )
 
     @property
     def scenario_id(self) -> str:
-        """Stable content hash identifying the scenario (used for resume)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        """Stable content hash identifying the scenario (used for resume/merge).
+
+        The ``engine`` request is deliberately excluded from the hash:
+        every backend reproduces the same numbers (the registry's
+        equivalence contract), so pinning an engine does not change *what*
+        is simulated — shard outputs produced under ``--engine`` still
+        merge against the original spec, and a resume matches outcomes
+        recorded under a different engine pin.
+        """
+        canonical_dict = self.to_dict()
+        canonical_dict.pop("engine", None)
+        canonical = json.dumps(canonical_dict, sort_keys=True, separators=(",", ":"))
         return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:12]
 
     # -- JSON -----------------------------------------------------------------
@@ -151,6 +177,10 @@ class ScenarioSpec:
         }
         if self.probe is not None:
             data["probe"] = self.probe.to_dict()
+        # Serialised only when non-default so pre-existing scenario ids (the
+        # content hashes resume/merge key on) are unchanged for auto runs.
+        if self.engine != "auto":
+            data["engine"] = self.engine
         return data
 
     @classmethod
@@ -166,6 +196,7 @@ class ScenarioSpec:
             probe=FactorySpec.from_dict(probe) if probe else None,
             application_key=data.get("application_key", ""),
             governor_key=data.get("governor_key", ""),
+            engine=data.get("engine", "auto"),
         )
 
 
@@ -268,6 +299,7 @@ class CampaignSpec:
         config: Optional[SimulationConfig] = None,
         seeds: Sequence[Optional[int]] = (None,),
         probe: Optional[FactorySpec] = None,
+        engine: str = "auto",
     ) -> "CampaignSpec":
         """Expand the cross product application × governor × seed.
 
@@ -305,6 +337,7 @@ class CampaignSpec:
                             probe=probe,
                             application_key=app_key,
                             governor_key=gov_key,
+                            engine=engine,
                         )
                     )
         return cls(name=name, scenarios=tuple(scenarios))

@@ -11,9 +11,10 @@ operating point and tell me how long it took and how much energy it cost*.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro._compat import SLOTS
 from repro.errors import PlatformError
@@ -105,6 +106,184 @@ class WorkloadTable:
         return self.busy_power_w == busy and self.idle_power_w == idle
 
 
+def _power_decomposition(
+    power_model: PowerModel, points: Sequence[OperatingPoint]
+) -> Tuple[List[float], List[float], List[float], List[float]]:
+    """Split per-point core power into its temperature-(in)dependent parts.
+
+    ``core_power_w(point, u, T)`` is ``dynamic(point, u) + static(point, T)``
+    with ``static = V * (k1 * exp(k2*V) * exp(k3*(T-55)) + k4)``.  Everything
+    except the single ``exp(k3*(T-55))`` factor is constant per operating
+    point, so precomputing ``dynamic`` (busy and idle) and the leakage scale
+    ``k1 * exp(k2*V)`` — with the exact operations, in the exact order, of
+    :meth:`PowerModel.static_power_w` — lets a thermally-coupled engine
+    reproduce the scalar power path bit for bit at one ``math.exp`` per
+    frame instead of two per power lookup.
+
+    Returns ``(dynamic_busy_w, dynamic_idle_w, leak_scale_a, voltages_v)``.
+    """
+    params = power_model.parameters
+    dynamic_busy = [power_model.dynamic_power_w(point, 1.0) for point in points]
+    dynamic_idle = [power_model.dynamic_power_w(point, 0.0) for point in points]
+    leak_scale = [
+        params.leakage_k1_a * math.exp(params.leakage_k2_per_v * point.voltage_v)
+        for point in points
+    ]
+    voltages = [point.voltage_v for point in points]
+    return dynamic_busy, dynamic_idle, leak_scale, voltages
+
+
+class ThermalWorkloadTable:
+    """Precomputed physics of a frame trace for a thermally-coupled cluster.
+
+    The isothermal :class:`WorkloadTable` can bake complete energies per
+    (frame, operating point) pair because temperature — and with it leakage
+    power — is constant over the trace.  With the RC thermal model enabled
+    the junction temperature is part of the simulation state, so this table
+    precomputes everything *except* the leakage-temperature coupling:
+
+    * the timing tables (critical-path busy time and interval per (frame,
+      point) pair), which are temperature-independent;
+    * the power decomposition of :func:`_power_decomposition`, which reduces
+      per-frame power evaluation to one ``math.exp`` shared by every
+      operating point;
+    * ``power_slices`` — complete per-point busy/idle power tables keyed by
+      *quantised* junction temperature, filled lazily as the trajectory
+      visits temperature buckets (only used when the cluster opted into
+      ``power_cache_bucket_c`` quantisation, mirroring the scalar power
+      cache exactly).  The dict is mutable shared state: a campaign worker
+      reusing this table across scenarios keeps the slices warm.
+
+    Every derived quantity uses the same IEEE operations, in the same
+    order, as the scalar :meth:`Cluster.execute_workload` path, so engines
+    driving this table reproduce scalar thermal trajectories bit for bit.
+    """
+
+    __slots__ = (
+        "num_frames",
+        "num_cores",
+        "num_points",
+        "idle_until_deadline",
+        "idle_at_min_opp",
+        "uncore_power_w",
+        "seconds_per_cycle",
+        "frequencies_hz",
+        "frequencies_mhz",
+        "cycles",
+        "cycles_tuples",
+        "max_cycles",
+        "deadlines_s",
+        "busy_time",
+        "interval",
+        "dynamic_busy_w",
+        "dynamic_idle_w",
+        "leak_scale_a",
+        "voltages_v",
+        "leakage_k3_per_c",
+        "leakage_k4_a",
+        "bucket_c",
+        "ambient_c",
+        "resistance_c_per_w",
+        "capacitance_j_per_c",
+        "throttle_c",
+        "power_slices",
+    )
+
+    def __init__(self, **attributes: Any) -> None:
+        for name in self.__slots__:
+            setattr(self, name, attributes.pop(name))
+        if attributes:
+            raise PlatformError(
+                f"unknown ThermalWorkloadTable attributes: {sorted(attributes)}"
+            )
+
+    def prefill_power_slices(
+        self, cluster: "Cluster", temperatures_c: Sequence[float]
+    ) -> int:
+        """Warm the quantised power slices for ``temperatures_c`` up front.
+
+        The per-frame loop fills slices lazily as the trajectory visits
+        temperature buckets; callers that know the expected junction range
+        (e.g. a campaign warming a shared table before fanning out
+        scenarios) can bulk-fill it here instead, through the temperature
+        axis of :meth:`PowerModel.power_table
+        <repro.platform.power.PowerModel.power_table>`.  Temperatures are
+        quantised to this table's bucket first; already-filled buckets are
+        skipped.  Returns the number of slices added — always 0 for
+        exact-mode tables (``bucket_c == 0``), which have no slices.
+        """
+        bucket = self.bucket_c
+        if bucket <= 0.0:
+            return 0
+        pending: List[float] = []
+        for temperature in temperatures_c:
+            quantised = round(temperature / bucket) * bucket
+            if quantised not in self.power_slices and quantised not in pending:
+                pending.append(quantised)
+        if not pending:
+            return 0
+        busy_rows, idle_rows = cluster.power_model.power_table(
+            cluster.vf_table.points, pending
+        )
+        for quantised, busy, idle in zip(pending, busy_rows, idle_rows):
+            self.power_slices[quantised] = (busy, idle)
+        return len(pending)
+
+    @staticmethod
+    def effective_bucket_c(cluster: "Cluster") -> float:
+        """The temperature quantisation the scalar power path applies here.
+
+        :meth:`Cluster.core_power_w` quantises the cache key only when the
+        cache is enabled; with ``power_cache_size == 0`` it evaluates the
+        power model at the exact temperature regardless of the configured
+        bucket.  Thermal tables must mirror that decision.
+        """
+        if cluster.power_cache_size == 0:
+            return 0.0
+        return cluster.power_cache_bucket_c
+
+    def matches(self, cluster: "Cluster", idle_until_deadline: bool) -> bool:
+        """Cheap soundness check that this table describes ``cluster``'s physics.
+
+        O(num_points): compares the timing constants, the power
+        decomposition and the thermal RC constants, so a cached table can be
+        validated on every reuse.  The frame trace itself is trusted to the
+        cache key.
+        """
+        table = cluster.vf_table
+        thermal = cluster.thermal_model.parameters
+        if (
+            self.num_cores != cluster.num_cores
+            or self.num_points != len(table)
+            or self.idle_until_deadline != idle_until_deadline
+            or self.idle_at_min_opp != cluster.idle_at_min_opp
+            or self.uncore_power_w != cluster.power_model.parameters.uncore_power_w
+            or self.bucket_c != self.effective_bucket_c(cluster)
+            or self.ambient_c != thermal.ambient_c
+            or self.resistance_c_per_w != thermal.resistance_c_per_w
+            or self.capacitance_j_per_c != thermal.capacitance_j_per_c
+            or self.throttle_c != thermal.throttle_c
+        ):
+            return False
+        if self.seconds_per_cycle != [p.seconds_per_cycle for p in table.points]:
+            return False
+        params = cluster.power_model.parameters
+        if (
+            self.leakage_k3_per_c != params.leakage_k3_per_c
+            or self.leakage_k4_a != params.leakage_k4_a
+        ):
+            return False
+        dynamic_busy, dynamic_idle, leak_scale, voltages = _power_decomposition(
+            cluster.power_model, table.points
+        )
+        return (
+            self.dynamic_busy_w == dynamic_busy
+            and self.dynamic_idle_w == dynamic_idle
+            and self.leak_scale_a == leak_scale
+            and self.voltages_v == voltages
+        )
+
+
 @dataclass(frozen=True, **SLOTS)
 class ClusterExecutionResult:
     """Outcome of executing one frame's worth of work on a cluster.
@@ -134,6 +313,11 @@ class ClusterExecutionResult:
         paper's RTM treats as the observed workload).
     total_busy_cycles:
         Sum of busy cycles over all cores.
+    throttle_events:
+        Number of thermal-model steps during the interval that ended at or
+        above the throttle threshold (0 with the thermal model disabled).
+        This is what makes a throttling decision taken mid-epoch visible to
+        the per-epoch observation a governor receives.
     """
 
     duration_s: float
@@ -146,6 +330,7 @@ class ClusterExecutionResult:
     temperature_c: float
     max_busy_cycles: float
     total_busy_cycles: float
+    throttle_events: int = 0
 
 
 class Cluster:
@@ -241,6 +426,16 @@ class Cluster:
     def total_energy_j(self) -> float:
         """Total true energy consumed by the cluster so far."""
         return self.energy_meter.energy_j
+
+    @property
+    def power_cache_size(self) -> int:
+        """Capacity of the per-operating-point core-power LRU cache (0 = off).
+
+        Exposed so table-building engines can mirror the exact caching
+        semantics of :meth:`core_power_w` — temperature quantisation only
+        applies when the cache is enabled.
+        """
+        return self._power_cache_size
 
     # -- power cache -----------------------------------------------------------
     def core_power_w(self, index: int, busy: bool, temperature_c: float) -> float:
@@ -354,8 +549,11 @@ class Cluster:
         energy_j = core_energy_j + uncore_energy_j + transition_energy
         true_average_power = energy_j / duration_s if duration_s > 0 else 0.0
 
-        # Advance the thermal state using the power actually drawn.
+        # Advance the thermal state using the power actually drawn; the
+        # throttle-event delta makes mid-epoch threshold crossings visible.
+        throttle_events_before = self.thermal_model.throttle_events
         temperature = self.thermal_model.step(true_average_power, duration_s)
+        throttle_events = self.thermal_model.throttle_events - throttle_events_before
 
         # The on-board sensor sees the average rail power for the interval.
         measured_power_w = self.power_sensor.measure_w(
@@ -380,6 +578,7 @@ class Cluster:
             temperature_c=temperature,
             max_busy_cycles=max(demands),
             total_busy_cycles=sum(demands),
+            throttle_events=throttle_events,
         )
 
     def idle(self, duration_s: float) -> ClusterExecutionResult:
@@ -423,37 +622,18 @@ class Cluster:
                 "execute_workload_table requires a disabled thermal model "
                 "(temperature-dependent leakage varies per frame)"
             )
-        num_frames = len(cycles_per_core)
-        if num_frames != len(deadlines_s):
-            raise PlatformError("cycles_per_core and deadlines_s must have equal length")
+        timing = self._trace_timing(np, cycles_per_core, deadlines_s, idle_until_deadline)
+        num_frames, cycles, cycles_tuples, deadlines = timing[:4]
+        seconds_per_cycle, max_cycles, busy_time, interval = timing[4:]
         num_cores = self.num_cores
         points = self.vf_table.points
         num_points = len(points)
         temperature_c = self.thermal_model.temperature_c
 
-        cycles_tuples = [tuple(row) for row in cycles_per_core]
-        for row in cycles_tuples:
-            if len(row) != num_cores:
-                raise PlatformError(
-                    f"got {len(row)} per-core demands for a {num_cores}-core cluster"
-                )
-        cycles = np.asarray(cycles_tuples, dtype=np.float64).reshape(num_frames, num_cores)
-        deadlines = np.asarray(deadlines_s, dtype=np.float64)
-        seconds_per_cycle = np.array([p.seconds_per_cycle for p in points])
-
         busy_list, idle_list = self.power_model.power_table(points, temperature_c)
         busy_power = np.array(busy_list)
         idle_power = np.array(idle_list)
         uncore_power_w = self.power_model.parameters.uncore_power_w
-
-        # Critical-path time per (frame, point): max over cores commutes with
-        # the (monotonic) multiply, so one product per pair suffices.
-        max_cycles = cycles.max(axis=1) if num_frames else np.zeros(0)
-        busy_time = max_cycles[:, None] * seconds_per_cycle[None, :]
-        if idle_until_deadline:
-            interval = np.maximum(busy_time, deadlines[:, None])
-        else:
-            interval = busy_time.copy()
 
         # Core energy, accumulated core by core in scalar summation order.
         # The scalar path clamps idle time with max(0, interval - busy), but
@@ -499,6 +679,112 @@ class Cluster:
             interval=interval,
             energy=energy,
             energy_rows=energy.tolist(),
+        )
+
+    def _trace_timing(
+        self,
+        np,
+        cycles_per_core: Sequence[Sequence[float]],
+        deadlines_s: Sequence[float],
+        idle_until_deadline: bool,
+    ):
+        """Temperature-independent trace arrays shared by both table builders.
+
+        Critical-path time per (frame, point) is ``max_cycles x
+        seconds_per_cycle`` — identical to the max over per-core products
+        because multiplying by a positive constant is monotonic under IEEE
+        rounding — and the interval applies the optional deadline padding
+        with the scalar engine's ``max``.
+        """
+        num_frames = len(cycles_per_core)
+        if num_frames != len(deadlines_s):
+            raise PlatformError("cycles_per_core and deadlines_s must have equal length")
+        num_cores = self.num_cores
+        cycles_tuples = [tuple(row) for row in cycles_per_core]
+        for row in cycles_tuples:
+            if len(row) != num_cores:
+                raise PlatformError(
+                    f"got {len(row)} per-core demands for a {num_cores}-core cluster"
+                )
+        cycles = np.asarray(cycles_tuples, dtype=np.float64).reshape(num_frames, num_cores)
+        deadlines = np.asarray(deadlines_s, dtype=np.float64)
+        seconds_per_cycle = np.array([p.seconds_per_cycle for p in self.vf_table.points])
+        max_cycles = cycles.max(axis=1) if num_frames else np.zeros(0)
+        busy_time = max_cycles[:, None] * seconds_per_cycle[None, :]
+        if idle_until_deadline:
+            interval = np.maximum(busy_time, deadlines[:, None])
+        else:
+            interval = busy_time.copy()
+        return (
+            num_frames,
+            cycles,
+            cycles_tuples,
+            deadlines,
+            seconds_per_cycle,
+            max_cycles,
+            busy_time,
+            interval,
+        )
+
+    def execute_thermal_workload_table(
+        self,
+        cycles_per_core: Sequence[Sequence[float]],
+        deadlines_s: Sequence[float],
+        idle_until_deadline: bool = True,
+    ) -> ThermalWorkloadTable:
+        """Precompute a trace's physics for a thermally-coupled run.
+
+        The thermal counterpart of :meth:`execute_workload_table`: energies
+        cannot be baked per (frame, operating point) because leakage power
+        depends on the evolving junction temperature, so this table carries
+        the temperature-independent timing tables plus the power
+        decomposition that reduces per-frame power evaluation to a single
+        ``math.exp`` (see :func:`_power_decomposition`).  Requires NumPy;
+        valid whether or not the thermal model is currently enabled (the
+        consuming engine mirrors the live model's behaviour either way).
+        """
+        try:
+            import numpy as np
+        except ImportError as exc:  # pragma: no cover - numpy-less installs
+            raise PlatformError("execute_thermal_workload_table requires numpy") from exc
+        timing = self._trace_timing(np, cycles_per_core, deadlines_s, idle_until_deadline)
+        num_frames, cycles, cycles_tuples, deadlines = timing[:4]
+        seconds_per_cycle, max_cycles, busy_time, interval = timing[4:]
+        points = self.vf_table.points
+        params = self.power_model.parameters
+        thermal = self.thermal_model.parameters
+        dynamic_busy, dynamic_idle, leak_scale, voltages = _power_decomposition(
+            self.power_model, points
+        )
+        power_slices: Dict[float, Tuple[List[float], List[float]]] = {}
+        return ThermalWorkloadTable(
+            num_frames=num_frames,
+            num_cores=self.num_cores,
+            num_points=len(points),
+            idle_until_deadline=idle_until_deadline,
+            idle_at_min_opp=self.idle_at_min_opp,
+            uncore_power_w=params.uncore_power_w,
+            seconds_per_cycle=list(seconds_per_cycle.tolist()),
+            frequencies_hz=self.vf_table.frequencies_hz,
+            frequencies_mhz=[p.frequency_mhz for p in points],
+            cycles=cycles,
+            cycles_tuples=cycles_tuples,
+            max_cycles=max_cycles.tolist(),
+            deadlines_s=deadlines,
+            busy_time=busy_time,
+            interval=interval,
+            dynamic_busy_w=dynamic_busy,
+            dynamic_idle_w=dynamic_idle,
+            leak_scale_a=leak_scale,
+            voltages_v=voltages,
+            leakage_k3_per_c=params.leakage_k3_per_c,
+            leakage_k4_a=params.leakage_k4_a,
+            bucket_c=ThermalWorkloadTable.effective_bucket_c(self),
+            ambient_c=thermal.ambient_c,
+            resistance_c_per_w=thermal.resistance_c_per_w,
+            capacitance_j_per_c=thermal.capacitance_j_per_c,
+            throttle_c=thermal.throttle_c,
+            power_slices=power_slices,
         )
 
     def advance_time(self, duration_s: float) -> None:

@@ -62,9 +62,11 @@ class ThermalModel:
     parameters: ThermalParameters = field(default_factory=ThermalParameters)
     enabled: bool = True
     _temperature_c: float = field(init=False)
+    _throttle_events: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         self._temperature_c = self.parameters.initial_c
+        self._throttle_events = 0
 
     @property
     def temperature_c(self) -> float:
@@ -75,6 +77,19 @@ class ThermalModel:
     def is_throttling(self) -> bool:
         """True when the junction temperature exceeds the throttle threshold."""
         return self._temperature_c >= self.parameters.throttle_c
+
+    @property
+    def throttle_events(self) -> int:
+        """Number of :meth:`step` calls so far that ended at/above ``throttle_c``.
+
+        A throttling decision taken mid-epoch (the junction crossing the
+        threshold during an interval) ends that interval's RC step at or
+        above ``throttle_c``, so counting threshold-reaching steps makes
+        those events visible to per-epoch observers: engines report the
+        per-epoch delta of this counter as
+        :attr:`~repro.rtm.governor.EpochObservation.throttle_events`.
+        """
+        return self._throttle_events
 
     def steady_state_c(self, power_w: float) -> float:
         """Temperature the node would settle at under constant ``power_w``."""
@@ -99,8 +114,27 @@ class ThermalModel:
         steady = self.steady_state_c(power_w)
         decay = math.exp(-duration_s / tau)
         self._temperature_c = steady + (self._temperature_c - steady) * decay
+        if self._temperature_c >= p.throttle_c:
+            self._throttle_events += 1
         return self._temperature_c
+
+    def absorb_state(self, temperature_c: float, throttle_events: int = 0) -> None:
+        """Adopt an externally simulated trajectory's final state.
+
+        Used by the thermally-coupled fast engine, which integrates the RC
+        recurrence itself (with the identical IEEE operations) and then
+        hands the final junction temperature and the number of
+        threshold-reaching steps back so the live model's public state
+        matches a scalar run's.
+        """
+        if throttle_events < 0:
+            raise ValueError(
+                f"throttle_events must be non-negative, got {throttle_events}"
+            )
+        self._temperature_c = temperature_c
+        self._throttle_events += throttle_events
 
     def reset(self) -> None:
         """Return the junction to its initial temperature."""
         self._temperature_c = self.parameters.initial_c
+        self._throttle_events = 0

@@ -81,6 +81,12 @@ class EpochObservation:
     overhead_time_s:
         Governor overhead charged to this epoch (sensor access, processing,
         DVFS transition) — the paper's ``T_OVH`` contribution.
+    throttle_events:
+        Number of thermal-model steps during the epoch that ended at or
+        above the throttle threshold (always 0 with the thermal model
+        disabled).  Before this field, a throttling decision taken
+        mid-epoch was invisible to the observation and a thermally-aware
+        governor could not react to it.
     """
 
     epoch_index: int
@@ -92,6 +98,7 @@ class EpochObservation:
     energy_j: float
     measured_power_w: float
     overhead_time_s: float = 0.0
+    throttle_events: int = 0
 
     @property
     def max_cycles(self) -> float:

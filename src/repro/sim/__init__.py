@@ -7,21 +7,33 @@ epoch's PMU and sensor data, chooses a V-F operating point, the platform
 executes the frame at that point, and the resulting time/energy feed the
 next decision.
 
-For governors whose decisions do not depend on run-time observations the
-engine transparently switches to the NumPy-vectorised trace engine in
-:mod:`repro.sim.fastpath`; every other governor runs through the
-table-driven closed-loop engine in :mod:`repro.sim.tablepath` when the
-platform is eligible (see ``SimulationConfig.prefer_fast_path``).
+Execution strategies are pluggable backends selected per run by capability
+negotiation (see :mod:`repro.sim.backends`): the NumPy-vectorised trace
+engine in :mod:`repro.sim.fastpath` for static-schedule governors, the
+isothermal table-driven closed loop in :mod:`repro.sim.tablepath`, the
+thermally-coupled table-driven closed loop in :mod:`repro.sim.thermalpath`,
+and the universal scalar reference loop in :mod:`repro.sim.scalarpath`.
 """
 
 from repro.sim.epoch import FrameColumns, FrameRecord
 from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.backends import (
+    BackendCapabilities,
+    EngineBackend,
+    EngineRequest,
+    backend_names,
+    capability_matrix,
+    negotiate,
+    register_backend,
+    unregister_backend,
+)
 from repro.sim.fastpath import fast_path_eligible, simulate_schedule
 from repro.sim.tablepath import (
     precompute_tables,
     simulate_closed_loop,
     table_path_eligible,
 )
+from repro.sim.thermalpath import thermal_path_eligible
 from repro.sim.results import SimulationResult
 from repro.sim.metrics import (
     MetricsSummary,
@@ -38,6 +50,15 @@ __all__ = [
     "SimulationConfig",
     "SimulationEngine",
     "SimulationResult",
+    "BackendCapabilities",
+    "EngineBackend",
+    "EngineRequest",
+    "backend_names",
+    "capability_matrix",
+    "negotiate",
+    "register_backend",
+    "unregister_backend",
+    "thermal_path_eligible",
     "fast_path_eligible",
     "simulate_schedule",
     "precompute_tables",

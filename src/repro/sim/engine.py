@@ -5,28 +5,28 @@ runs one application under one governor at a time, producing a
 :class:`~repro.sim.results.SimulationResult` with a per-epoch record of
 time, energy and governor behaviour.
 
-Three execution strategies share this entry point, selected automatically
-per run (fastest eligible wins, scalar always correct):
-
-1. the **vectorised trace engine** (:mod:`repro.sim.fastpath`) for
-   governors that expose a static schedule — no per-frame loop at all;
-2. the **table-driven closed-loop engine** (:mod:`repro.sim.tablepath`)
-   for every other governor on an eligible platform — the loop remains
-   (decisions are observation-dependent) but all physics is precomputed;
-3. the **scalar engine** below — the universal fallback (thermally-enabled
-   clusters, NumPy-less installs, ``prefer_fast_path=False``).
+Execution strategies are pluggable :class:`~repro.sim.backends.EngineBackend`
+implementations selected per run by capability negotiation (see
+:mod:`repro.sim.backends`): each backend declares what it supports
+(thermal coupling, static schedules, table reuse, NumPy) and the highest
+priority backend whose declarations admit the (cluster, application,
+governor, config) request wins.  The built-ins are the vectorised trace
+engine (``fastpath``), the isothermal table-driven closed loop
+(``tablepath``), the thermally-coupled table-driven closed loop
+(``thermalpath``) and the universal scalar reference loop (``scalar``).
+The backend that ran is recorded on the result as
+:attr:`SimulationResult.engine_used`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional
 
 from repro.errors import SimulationError
 from repro.platform.cluster import Cluster
-from repro.rtm.governor import EpochObservation, FrameHint, Governor, PlatformInfo
-from repro.sim import fastpath, tablepath
-from repro.sim.epoch import FrameRecord
+from repro.rtm.governor import Governor, PlatformInfo
+from repro.sim import backends, tablepath
 from repro.sim.results import SimulationResult
 from repro.workload.application import Application
 
@@ -52,67 +52,18 @@ class SimulationConfig:
         Operating-point index in force before the first decision; ``None``
         selects the fastest point (the after-boot default).
     prefer_fast_path:
-        If True (default) the engine picks the fastest eligible strategy:
-        governors whose decisions are observation-independent (probed with
-        :meth:`~repro.rtm.governor.Governor.static_schedule`) run through
-        the vectorised engine in :mod:`repro.sim.fastpath`; every other
-        governor runs through the table-driven closed-loop engine in
-        :mod:`repro.sim.tablepath` when the platform is eligible (NumPy
-        available, thermal model disabled).  Both reproduce the scalar
-        engine to ~1e-9 relative tolerance with identical decision
-        trajectories; set False to force the scalar engine (e.g. for
-        bit-exact regression comparisons against archived scalar results).
+        Deprecated compatibility switch: ``False`` pins the run to the
+        ``scalar`` reference backend (e.g. for bit-exact regression
+        comparisons against archived scalar results).  Prefer the engine
+        request — ``SimulationEngine(..., engine="scalar")`` or a scenario
+        spec's ``engine`` field — which goes through the same backend
+        registry as every other selection.
     """
 
     idle_until_deadline: bool = True
     charge_governor_overhead: bool = True
     initial_operating_index: Optional[int] = None
     prefer_fast_path: bool = True
-
-
-def _epoch_outputs(
-    frame_index: int,
-    per_core: Sequence[float],
-    execution,
-    deadline_s: float,
-    overhead_s: float,
-    explored: bool,
-) -> Tuple[FrameRecord, EpochObservation]:
-    """Build the epoch's record and the governor's observation from one snapshot.
-
-    The two views share every measured quantity; deriving both from a single
-    call keeps them from drifting apart.
-    """
-    busy_time_s = max(core_result.busy_time_s for core_result in execution.core_results)
-    cycles = tuple(per_core)
-    record = FrameRecord(
-        index=frame_index,
-        operating_index=execution.operating_index,
-        frequency_mhz=execution.operating_point.frequency_mhz,
-        cycles_per_core=cycles,
-        busy_time_s=busy_time_s,
-        overhead_time_s=overhead_s,
-        frame_time_s=busy_time_s + overhead_s,
-        interval_s=execution.duration_s,
-        deadline_s=deadline_s,
-        energy_j=execution.energy_j,
-        average_power_w=execution.average_power_w,
-        measured_power_w=execution.measured_power_w,
-        temperature_c=execution.temperature_c,
-        explored=explored,
-    )
-    observation = EpochObservation(
-        epoch_index=frame_index,
-        cycles_per_core=cycles,
-        busy_time_s=busy_time_s,
-        interval_s=execution.duration_s,
-        reference_time_s=deadline_s,
-        operating_index=execution.operating_index,
-        energy_j=execution.energy_j,
-        measured_power_w=execution.measured_power_w,
-        overhead_time_s=overhead_s,
-    )
-    return record, observation
 
 
 class SimulationEngine:
@@ -125,12 +76,21 @@ class SimulationEngine:
     config:
         Engine behaviour switches (see :class:`SimulationConfig`).
     table_provider:
-        Optional callable ``(cluster, application, config) -> WorkloadTable``
-        invoked when (and only when) a run takes the table-driven
-        closed-loop path.  Callers that run many scenarios over the same
-        application and cluster (the campaign executor) supply a caching
-        provider here so the precomputed physics is shared; ``None`` builds
-        fresh tables per run.
+        Optional callable ``(cluster, application, config) -> tables``
+        invoked when (and only when) the winning backend consumes
+        precomputed physics tables (``supports_tables``).  Callers that run
+        many scenarios over the same application and cluster (the campaign
+        executor) supply a caching provider here so the precomputed physics
+        is shared; ``None`` builds fresh tables per run.  Returned tables
+        are validated against the live cluster before use, so a stale
+        provider degrades to a rebuild, never to wrong numbers.
+    engine:
+        Engine request: ``"auto"`` (default) negotiates the fastest
+        eligible backend from the registry in :mod:`repro.sim.backends`; a
+        backend name (``"scalar"``, ``"fastpath"``, ``"tablepath"``,
+        ``"thermalpath"``, or any registered third-party backend) pins the
+        run to that backend, failing with a clear error when its declared
+        capabilities cannot accept the run.
     """
 
     def __init__(
@@ -138,22 +98,34 @@ class SimulationEngine:
         cluster: Cluster,
         config: Optional[SimulationConfig] = None,
         table_provider: Optional[tablepath.TableProvider] = None,
+        engine: str = backends.AUTO,
     ) -> None:
         self.cluster = cluster
         self.config = config or SimulationConfig()
         self.table_provider = table_provider
-        self._last_used_fast_path = False
-        self._last_used_table_path = False
+        self.engine = engine
+        self._engine_used: Optional[str] = None
+
+    @property
+    def engine_used(self) -> Optional[str]:
+        """Name of the backend the most recent :meth:`run` executed on."""
+        return self._engine_used
 
     @property
     def last_used_fast_path(self) -> bool:
-        """True when the most recent :meth:`run` took the vectorised fast path."""
-        return self._last_used_fast_path
+        """Deprecated: True when the most recent run used the ``fastpath`` backend.
+
+        Prefer :attr:`engine_used` (or ``result.engine_used``).
+        """
+        return self._engine_used == backends.FASTPATH
 
     @property
     def last_used_table_path(self) -> bool:
-        """True when the most recent :meth:`run` took the table-driven closed loop."""
-        return self._last_used_table_path
+        """Deprecated: True when the most recent run used the ``tablepath`` backend.
+
+        Prefer :attr:`engine_used` (or ``result.engine_used``).
+        """
+        return self._engine_used == backends.TABLEPATH
 
     def platform_info(self) -> PlatformInfo:
         """Static platform description handed to governors at setup."""
@@ -189,98 +161,18 @@ class SimulationEngine:
 
         governor.setup(self.platform_info(), application.requirement)
 
-        # Strategy selection: observation-independent governors skip the
-        # closed loop entirely (vectorised); everything else takes the
-        # table-driven loop when eligible, else the scalar loop.
-        self._last_used_fast_path = False
-        self._last_used_table_path = False
-        if config.prefer_fast_path and fastpath.fast_path_eligible(self.cluster):
-            schedule = governor.static_schedule(application)
-            if schedule is not None:
-                result = fastpath.simulate_schedule(
-                    self.cluster, application, governor, config, schedule
-                )
-                self._last_used_fast_path = True
-                return result
-            tables = None
-            if self.table_provider is not None:
-                tables = self.table_provider(self.cluster, application, config)
-            result = tablepath.simulate_closed_loop(
-                self.cluster, application, governor, config, tables=tables
-            )
-            self._last_used_table_path = True
-            return result
-
-        return self._run_scalar(application, governor)
-
-    def _run_scalar(
-        self, application: Application, governor: Governor
-    ) -> SimulationResult:
-        """The frame-by-frame scalar loop — the universal fallback."""
-        config = self.config
-        cluster = self.cluster
-        result = SimulationResult(
-            governor_name=governor.name,
-            application_name=application.name,
-            reference_time_s=application.reference_time_s,
+        request = backends.EngineRequest(
+            cluster=self.cluster,
+            application=application,
+            governor=governor,
+            config=config,
+            table_provider=self.table_provider,
         )
-        previous_observation: Optional[EpochObservation] = None
-        previous_exploration_count = governor.exploration_count
-        exploration_frozen = governor.exploration_frozen
-        charge_overhead = config.charge_governor_overhead
-        idle_until_deadline = config.idle_until_deadline
-        # Hoisted per-frame constants: the processing overhead when it is a
-        # plain class attribute (non-learning governors), and one reusable
-        # FrameHint rebuilt in place (no governor retains hints beyond
-        # decide(); the Oracle, the only reader, consumes it immediately).
-        static_overhead = tablepath.static_processing_overhead(governor)
-        hint: Optional[FrameHint] = None
-        set_hint = object.__setattr__
-        records_append = result.records.append
-
-        for frame in application:
-            per_core = frame.cycles_per_core(cluster.num_cores)
-            if hint is None:
-                hint = FrameHint(cycles_per_core=per_core, deadline_s=frame.deadline_s)
-            else:
-                set_hint(hint, "cycles_per_core", per_core)
-                set_hint(hint, "deadline_s", frame.deadline_s)
-
-            operating_index = governor.decide(previous_observation, hint)
-            transition = cluster.set_operating_index(operating_index)
-
-            minimum_interval = frame.deadline_s if idle_until_deadline else 0.0
-            execution = cluster.execute_workload(
-                per_core,
-                minimum_interval_s=minimum_interval,
-                pending_transition=transition,
-            )
-
-            overhead = 0.0
-            if charge_overhead:
-                if static_overhead is None:
-                    overhead = governor.processing_overhead_s + transition.latency_s
-                else:
-                    overhead = static_overhead + transition.latency_s
-
-            if exploration_frozen:
-                explored = False
-            else:
-                exploration_count = governor.exploration_count
-                explored = exploration_count > previous_exploration_count
-                previous_exploration_count = exploration_count
-                exploration_frozen = governor.exploration_frozen
-
-            record, previous_observation = _epoch_outputs(
-                frame_index=frame.index,
-                per_core=per_core,
-                execution=execution,
-                deadline_s=frame.deadline_s,
-                overhead_s=overhead,
-                explored=explored,
-            )
-            records_append(record)
-
-        result.exploration_count = governor.exploration_count
-        result.converged_epoch = governor.converged_epoch
+        # Cleared before negotiation so a failed selection (or a failed run)
+        # cannot leave a previous run's backend name dangling.
+        self._engine_used = None
+        selected = backends.negotiate(request, engine=self.engine)
+        result = selected.run(request)
+        self._engine_used = selected.name
+        result.engine_used = selected.name
         return result

@@ -39,6 +39,12 @@ class SimulationResult:
     converged_epoch:
         Epoch at which the governor's learning converged (``None`` for
         non-learning governors or unconverged runs).
+    engine_used:
+        Name of the engine backend that produced this result (``"scalar"``,
+        ``"fastpath"``, ``"tablepath"``, ``"thermalpath"``, or a registered
+        third-party backend).  Stamped by
+        :meth:`~repro.sim.engine.SimulationEngine.run`; empty for results
+        built by hand or by calling an engine module directly.
     """
 
     __slots__ = (
@@ -47,6 +53,7 @@ class SimulationResult:
         "reference_time_s",
         "exploration_count",
         "converged_epoch",
+        "engine_used",
         "_records",
         "_columns",
     )
@@ -60,6 +67,7 @@ class SimulationResult:
         exploration_count: int = 0,
         converged_epoch: Optional[int] = None,
         columns: Optional[FrameColumns] = None,
+        engine_used: str = "",
     ) -> None:
         if reference_time_s <= 0:
             raise SimulationError("reference_time_s must be positive")
@@ -70,12 +78,24 @@ class SimulationResult:
         self.reference_time_s = reference_time_s
         self.exploration_count = exploration_count
         self.converged_epoch = converged_epoch
+        self.engine_used = engine_used
         self._columns = columns
         # The passed-in list is stored as-is (not copied) so callers that
         # append to `result.records` after construction keep working.
         self._records: Optional[List[FrameRecord]] = (
             records if records is not None else (None if columns is not None else [])
         )
+
+    # -- deprecated engine-selection aliases -------------------------------------
+    @property
+    def last_used_table_path(self) -> bool:
+        """Deprecated alias: True when :attr:`engine_used` is ``"tablepath"``."""
+        return self.engine_used == "tablepath"
+
+    @property
+    def last_used_fast_path(self) -> bool:
+        """Deprecated alias: True when :attr:`engine_used` is ``"fastpath"``."""
+        return self.engine_used == "fastpath"
 
     # -- backing stores ---------------------------------------------------------
     @property
@@ -246,7 +266,7 @@ class SimulationResult:
     # -- JSON round-trip -----------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form of the complete run (used by campaign persistence)."""
-        return {
+        data: Dict[str, Any] = {
             "governor_name": self.governor_name,
             "application_name": self.application_name,
             "reference_time_s": self.reference_time_s,
@@ -254,6 +274,9 @@ class SimulationResult:
             "converged_epoch": self.converged_epoch,
             "records": [record.to_dict() for record in self.records],
         }
+        if self.engine_used:
+            data["engine_used"] = self.engine_used
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
@@ -265,6 +288,7 @@ class SimulationResult:
             records=[FrameRecord.from_dict(record) for record in data.get("records", [])],
             exploration_count=data.get("exploration_count", 0),
             converged_epoch=data.get("converged_epoch"),
+            engine_used=data.get("engine_used", ""),
         )
 
     # -- slicing ------------------------------------------------------------------------
@@ -282,6 +306,7 @@ class SimulationResult:
             records=list(subset),
             exploration_count=self.exploration_count,
             converged_epoch=self.converged_epoch,
+            engine_used=self.engine_used,
         )
 
     # -- equality (matches the former dataclass semantics) -------------------------------

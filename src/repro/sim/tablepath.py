@@ -27,7 +27,9 @@ deadline-miss sets, identical exploration counts and final Q-tables
 (``tests/test_tablepath.py`` enforces all of this).
 
 Eligibility mirrors the vectorised fast path: NumPy importable, thermal
-model disabled.  The scalar engine remains the universal fallback.
+model disabled.  Thermally-enabled clusters negotiate to the
+thermally-coupled engine in :mod:`repro.sim.thermalpath`; the scalar
+engine remains the universal fallback (see :mod:`repro.sim.backends`).
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
     _np = None  # type: ignore[assignment]
 
 from repro.errors import InvalidOperatingPointError, SimulationError
+from repro.platform.cluster import WorkloadTable
 from repro.platform.dvfs import DVFSTransition
 from repro.rtm.governor import EpochObservation, FrameHint
 from repro.sim import fastpath
@@ -47,7 +50,7 @@ from repro.sim.epoch import FrameColumns
 from repro.sim.results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.platform.cluster import Cluster, WorkloadTable
+    from repro.platform.cluster import Cluster
     from repro.rtm.governor import Governor
     from repro.sim.engine import SimulationConfig
     from repro.workload.application import Application
@@ -117,8 +120,11 @@ def simulate_closed_loop(
     num_frames = application.num_frames
     if num_frames == 0:
         raise SimulationError("cannot simulate an application with no frames")
-    if tables is None or tables.num_frames != num_frames or not tables.matches(
-        cluster, config.idle_until_deadline
+    if (
+        tables is None
+        or not isinstance(tables, WorkloadTable)
+        or tables.num_frames != num_frames
+        or not tables.matches(cluster, config.idle_until_deadline)
     ):
         tables = precompute_tables(cluster, application, config)
 
