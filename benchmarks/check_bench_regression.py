@@ -14,6 +14,12 @@ current run also fail — dropping a scenario must never masquerade as a
 speedup.  Faster-than-baseline runs always pass; refresh the baseline by
 committing a new smoke-run output when the hardware or the expected
 performance changes for a good reason.
+
+The results file's ``metadata`` block (python/numpy versions, CPU count,
+git sha) is provenance only: the gate compares nothing outside the
+benchmark sections listed in :data:`GATED_METRICS`, so baselines produced
+before the block existed — or on a different box — still parse and gate
+identically.
 """
 
 from __future__ import annotations
@@ -34,6 +40,8 @@ GATED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("thermal_closed_loop", "cold_thermal_frames_per_s"),
     ("thermal_closed_loop", "scalar_frames_per_s"),
     ("tier1_power_cache", "cached_frames_per_s"),
+    ("batched_grid", "batched_frames_per_s"),
+    ("batched_grid", "per_scenario_frames_per_s"),
 )
 
 

@@ -6,7 +6,7 @@ paper's tables, so a user can eyeball paper-vs-reproduction side by side.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.sim.comparison import ComparisonRow
 from repro.sim.metrics import summarize_result
@@ -55,7 +55,9 @@ def format_comparison_rows(rows: Sequence[ComparisonRow], title: str = "") -> st
     )
 
 
-def format_campaign_summary(store: "CampaignResult", title: str = "") -> str:
+def format_campaign_summary(
+    store: "CampaignResult", title: str = "", cache_stats: Optional[dict] = None
+) -> str:
     """Render a campaign result store as a failure-aware ASCII table.
 
     ``done`` scenarios show their headline metrics and the engine backend
@@ -63,6 +65,12 @@ def format_campaign_summary(store: "CampaignResult", title: str = "") -> str:
     captured error (first line, truncated) in place of numbers, plus the
     attempt count — so a partially failed campaign reads at a glance.
     A done/failed tally follows the table.
+
+    ``cache_stats`` (the executor's ``table_cache_stats()`` dict, keys
+    ``hits``/``misses``/``evictions``) appends a physics-table cache line:
+    the hit rate is a direct readout of how well the campaign grid — and
+    the batch planner's compatibility grouping — lines up with the shared
+    precomputed tables.
     """
     rows: List[Sequence[str]] = []
     for outcome in store:
@@ -118,4 +126,14 @@ def format_campaign_summary(store: "CampaignResult", title: str = "") -> str:
     )
     done, failed = len(store.done()), len(store.failed())
     tally = f"{done} done, {failed} failed of {len(store)} scenarios"
+    if cache_stats is not None:
+        hits = cache_stats.get("hits", 0)
+        misses = cache_stats.get("misses", 0)
+        evictions = cache_stats.get("evictions", 0)
+        lookups = hits + misses
+        rate = f" ({hits / lookups:.0%} hit rate)" if lookups else ""
+        tally += (
+            f"\nphysics-table cache: {hits} hits, {misses} misses, "
+            f"{evictions} evictions{rate}"
+        )
     return f"{table}\n{tally}"

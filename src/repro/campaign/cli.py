@@ -37,6 +37,7 @@ from repro.campaign.executor import (
     CampaignExecutor,
     CampaignInterrupted,
     RetryPolicy,
+    table_cache_stats,
 )
 from repro.errors import ConfigurationError, ReproError
 from repro.campaign.registry import registered_names
@@ -147,6 +148,15 @@ def _run_main(argv: Sequence[str]) -> int:
         "run fails with a capability-mismatch error)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        metavar="S",
+        help="group up to S compatible closed-loop scenarios (same "
+        "application, cluster and config) into one batched-engine step "
+        "(default 16; 0 disables the batch planner)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list registered factories and exit"
     )
     parser.add_argument(
@@ -187,6 +197,7 @@ def _run_main(argv: Sequence[str]) -> int:
             backend=arguments.backend,
             max_workers=arguments.workers,
             retry=RetryPolicy(max_attempts=arguments.retries + 1),
+            batch_size=arguments.batch_size,
         )
     except ConfigurationError as exc:
         print(f"repro-campaign: {exc}", file=sys.stderr)
@@ -226,7 +237,10 @@ def _run_main(argv: Sequence[str]) -> int:
     # lose the results of a long campaign.
     if arguments.output:
         store.save(arguments.output)
-    print(format_campaign_summary(store))
+    # The table cache lives per process: only the serial backend's counters
+    # describe this run (process-pool workers each kept their own).
+    cache_stats = table_cache_stats() if arguments.backend == "serial" else None
+    print(format_campaign_summary(store, cache_stats=cache_stats))
     print(f"completed in {elapsed:.1f} s on the {arguments.backend!r} backend")
     if arguments.output:
         print(f"results written to {arguments.output}")

@@ -34,7 +34,9 @@ from repro.campaign import registry
 from repro.campaign.results import CampaignResult, ScenarioOutcome
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
 from repro.platform.cluster import ThermalWorkloadTable, WorkloadTable
-from repro.sim import tablepath, thermalpath
+from repro.rtm.governor import Governor
+from repro.sim import backends as engine_backends
+from repro.sim import batchpath, tablepath, thermalpath
 from repro.sim.engine import SimulationEngine
 
 #: Optional per-scenario completion callback (label, index, total).
@@ -110,6 +112,24 @@ class CampaignInterrupted(ReproError):
 _TABLE_CACHE: "OrderedDict[Tuple, object]" = OrderedDict()
 _TABLE_CACHE_MAX_ENTRIES = 8
 
+#: Per-worker-process table-cache traffic counters.  A hit means a scenario
+#: reused tables precomputed by an earlier scenario of the same worker; the
+#: hit rate is therefore a direct readout of how well the campaign's
+#: scenario grouping (and the batch planner's compatibility keys) line up
+#: with the cache key.
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def table_cache_stats() -> dict:
+    """This process's physics-table cache counters (hits/misses/evictions)."""
+    return dict(_CACHE_STATS)
+
+
+def reset_table_cache_stats() -> None:
+    """Zero the cache counters (the cache itself is left warm)."""
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
 
 #: Upper bound on the quantised power slices prewarmed per thermal table;
 #: trajectories spanning more buckets than this fall back to lazy filling.
@@ -184,13 +204,16 @@ def _cached_table_provider(scenario: ScenarioSpec) -> tablepath.TableProvider:
             and tables.matches(cluster, config.idle_until_deadline)
         ):
             _TABLE_CACHE.move_to_end(key)
+            _CACHE_STATS["hits"] += 1
             return tables
+        _CACHE_STATS["misses"] += 1
         tables = precompute(cluster, application, config)
         if thermal:
             _warm_thermal_tables(tables, cluster)
         _TABLE_CACHE[key] = tables
         if len(_TABLE_CACHE) > _TABLE_CACHE_MAX_ENTRIES:
             _TABLE_CACHE.popitem(last=False)
+            _CACHE_STATS["evictions"] += 1
         return tables
 
     return provider
@@ -275,6 +298,168 @@ def run_scenario_safely(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+# ---------------------------------------------------------------------------
+# Batch planning: group compatible scenarios for the batched engine.
+# ---------------------------------------------------------------------------
+
+#: One unit of backend work: (batched, [(index into the submitted sequence,
+#: scenario), ...]).  Singleton units carry batched=False and run through
+#: :func:`run_scenario_safely`; batched units through
+#: :func:`run_scenario_batch_safely`.
+WorkUnit = Tuple[bool, List[Tuple[int, ScenarioSpec]]]
+
+#: Memoised "does this governor factory yield a closed-loop governor"
+#: probe, keyed by the (frozen, hashable) governor FactorySpec.
+_CLOSED_LOOP_GOVERNORS: dict = {}
+
+
+def _governor_is_closed_loop(scenario: ScenarioSpec) -> bool:
+    """Whether the scenario's governor decides frame by frame.
+
+    Static-schedule governors negotiate the trace-vectorised ``fastpath``
+    backend under ``auto`` and gain nothing from scenario batching, so the
+    planner leaves them alone.  The probe builds one throwaway governor per
+    distinct factory spec and checks whether it overrides
+    :meth:`~repro.rtm.governor.Governor.static_schedule`.
+    """
+    spec = scenario.governor
+    cached = _CLOSED_LOOP_GOVERNORS.get(spec)
+    if cached is None:
+        try:
+            governor = registry.governor_factory(spec.name)(**spec.kwargs)
+        except Exception:  # noqa: BLE001 - the real run will report it
+            cached = False
+        else:
+            cached = (
+                type(governor).static_schedule is Governor.static_schedule
+            )
+        _CLOSED_LOOP_GOVERNORS[spec] = cached
+    return cached
+
+
+def _batchable(scenario: ScenarioSpec) -> bool:
+    """Whether the batch planner may route ``scenario`` to ``batchpath``."""
+    if scenario.engine not in ("auto", engine_backends.BATCHPATH):
+        return False
+    if not scenario.config.prefer_fast_path:
+        return False
+    return _governor_is_closed_loop(scenario)
+
+
+def plan_batches(
+    scenarios: Sequence[ScenarioSpec], batch_size: int
+) -> List[WorkUnit]:
+    """Group pending scenarios into batched and singleton work units.
+
+    Scenarios are batch-compatible when they share the application factory
+    (plus seed override), the cluster factory and the simulation config —
+    the cluster spec fixes the physics *and* the thermal mode, so one
+    precomputed table serves the whole group.  Compatible closed-loop
+    scenarios are grouped (chunked to ``batch_size``) and dispatched to the
+    batched engine; everything else stays a singleton.  Eligible scenarios
+    are routed through ``batchpath`` *even as a group of one* so the
+    ``engine_used`` stamp — and therefore the serialised outcome — does not
+    depend on how the campaign was sharded.
+
+    Units are emitted in first-member campaign order, so serial execution
+    (and checkpoint growth) tracks the campaign's scenario order.
+    """
+    if batch_size < 0:
+        raise ConfigurationError(f"batch_size must be >= 0, got {batch_size}")
+    if batch_size == 0 or batchpath._np is None:
+        return [(False, [(index, s)]) for index, s in enumerate(scenarios)]
+    groups: "OrderedDict[Tuple, List[Tuple[int, ScenarioSpec]]]" = OrderedDict()
+    units: List[Tuple[int, WorkUnit]] = []
+    for index, scenario in enumerate(scenarios):
+        if _batchable(scenario):
+            key = (
+                scenario.application,
+                scenario.seed,
+                scenario.cluster,
+                scenario.config,
+            )
+            groups.setdefault(key, []).append((index, scenario))
+        else:
+            units.append((index, (False, [(index, scenario)])))
+    for grouped in groups.values():
+        for start in range(0, len(grouped), batch_size):
+            chunk = grouped[start : start + batch_size]
+            units.append((chunk[0][0], (True, chunk)))
+    units.sort(key=lambda entry: entry[0])
+    return [unit for _, unit in units]
+
+
+def run_scenario_batch(scenarios: Sequence[ScenarioSpec]) -> List[ScenarioOutcome]:
+    """Execute a planned group of compatible scenarios on the batched engine.
+
+    Builds one shared application and a fresh cluster + governor per
+    scenario, steps them simultaneously through
+    :func:`repro.sim.batchpath.run_batch` (physics tables served by the
+    worker cache), then applies each scenario's probe while its governor is
+    still live.  Outcomes come back in scenario order, each stamped with
+    ``engine_used="batchpath"``.  Exceptions propagate — use
+    :func:`run_scenario_batch_safely` for the per-scenario fallback.
+    """
+    scenarios = list(scenarios)
+    first = scenarios[0]
+    app_kwargs = dict(first.application.kwargs)
+    if first.seed is not None:
+        app_kwargs["seed"] = first.seed
+    application = registry.application_factory(first.application.name)(**app_kwargs)
+
+    members = []
+    for scenario in scenarios:
+        cluster = registry.cluster_factory(scenario.cluster.name)(
+            **scenario.cluster.kwargs
+        )
+        governor = registry.governor_factory(scenario.governor.name)(
+            **scenario.governor.kwargs
+        )
+        members.append((cluster, governor))
+
+    provider = _cached_table_provider(first)
+    tables = provider(members[0][0], application, first.config)
+    results = batchpath.run_batch(
+        members,
+        application,
+        first.config,
+        tables=tables,
+        scalar_cutoffs=batchpath.DEFAULT_SCALAR_CUTOFFS,
+    )
+
+    outcomes = []
+    for scenario, result, (cluster, governor) in zip(scenarios, results, members):
+        result.engine_used = engine_backends.BATCHPATH
+        probe_data = None
+        if scenario.probe is not None:
+            probe = registry.probe_factory(scenario.probe.name)
+            probe_data = probe(governor, result, **scenario.probe.kwargs)
+        outcomes.append(
+            ScenarioOutcome(scenario=scenario, result=result, probe=probe_data)
+        )
+    return outcomes
+
+
+def run_scenario_batch_safely(
+    scenarios: Sequence[ScenarioSpec], max_attempts: int = 1, backoff_s: float = 0.0
+) -> List[ScenarioOutcome]:
+    """Batch execution with per-scenario degradation on failure.
+
+    Any exception from the batched run — one bad scenario, an incompatible
+    member the planner mis-grouped, a backend bug — falls back to running
+    every member through :func:`run_scenario_safely`, which applies the
+    retry policy and records genuinely failing scenarios as ``failed``
+    outcomes without poisoning their batch-mates.
+    """
+    try:
+        return run_scenario_batch(scenarios)
+    except Exception:  # noqa: BLE001 - degrade to the per-scenario path
+        return [
+            run_scenario_safely(scenario, max_attempts, backoff_s)
+            for scenario in scenarios
+        ]
+
+
 class SerialBackend:
     """Runs scenarios one after another in the calling process."""
 
@@ -283,10 +468,26 @@ class SerialBackend:
     def run_unordered(
         self, scenarios: Sequence[ScenarioSpec], retry: RetryPolicy
     ) -> Iterator[Tuple[int, ScenarioOutcome]]:
-        for index, scenario in enumerate(scenarios):
-            yield index, run_scenario_safely(
-                scenario, retry.max_attempts, retry.backoff_s
-            )
+        units = [(False, [(index, s)]) for index, s in enumerate(scenarios)]
+        return self.run_units(units, retry)
+
+    def run_units(
+        self, units: Sequence[WorkUnit], retry: RetryPolicy
+    ) -> Iterator[Tuple[int, ScenarioOutcome]]:
+        for batched, entries in units:
+            if batched:
+                outcomes = run_scenario_batch_safely(
+                    [scenario for _, scenario in entries],
+                    retry.max_attempts,
+                    retry.backoff_s,
+                )
+                for (index, _), outcome in zip(entries, outcomes):
+                    yield index, outcome
+            else:
+                index, scenario = entries[0]
+                yield index, run_scenario_safely(
+                    scenario, retry.max_attempts, retry.backoff_s
+                )
 
 
 class ProcessPoolBackend:
@@ -308,23 +509,45 @@ class ProcessPoolBackend:
     def run_unordered(
         self, scenarios: Sequence[ScenarioSpec], retry: RetryPolicy
     ) -> Iterator[Tuple[int, ScenarioOutcome]]:
-        if not scenarios:
+        units = [(False, [(index, s)]) for index, s in enumerate(scenarios)]
+        return self.run_units(units, retry)
+
+    def run_units(
+        self, units: Sequence[WorkUnit], retry: RetryPolicy
+    ) -> Iterator[Tuple[int, ScenarioOutcome]]:
+        if not units:
             return
-        workers = self.max_workers or min(len(scenarios), os.cpu_count() or 1)
-        workers = min(workers, len(scenarios))
+        workers = self.max_workers or min(len(units), os.cpu_count() or 1)
+        workers = min(workers, len(units))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    run_scenario_safely, scenario, retry.max_attempts, retry.backoff_s
-                ): index
-                for index, scenario in enumerate(scenarios)
-            }
+            futures = {}
+            for batched, entries in units:
+                if batched:
+                    future = pool.submit(
+                        run_scenario_batch_safely,
+                        [scenario for _, scenario in entries],
+                        retry.max_attempts,
+                        retry.backoff_s,
+                    )
+                else:
+                    future = pool.submit(
+                        run_scenario_safely,
+                        entries[0][1],
+                        retry.max_attempts,
+                        retry.backoff_s,
+                    )
+                futures[future] = (batched, [index for index, _ in entries])
             try:
                 remaining = set(futures)
                 while remaining:
                     completed, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                     for future in completed:
-                        yield futures[future], future.result()
+                        batched, indices = futures[future]
+                        if batched:
+                            for index, outcome in zip(indices, future.result()):
+                                yield index, outcome
+                        else:
+                            yield indices[0], future.result()
             except BaseException:
                 # Run abandoned — GeneratorExit from the consumer, Ctrl-C
                 # landing in wait(), or a broken pool: drop the queued
@@ -354,9 +577,13 @@ class CampaignExecutor:
         backend: str = "serial",
         max_workers: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
+        batch_size: int = 0,
     ) -> None:
+        if batch_size < 0:
+            raise ConfigurationError(f"batch_size must be >= 0, got {batch_size}")
         self.backend = make_backend(backend, max_workers)
         self.retry = retry or RetryPolicy()
+        self.batch_size = batch_size
 
     def run(
         self,
@@ -407,9 +634,10 @@ class CampaignExecutor:
             for outcome in resume:
                 store.add(outcome)
         pending: List[ScenarioSpec] = store.pending(campaign)
+        units = plan_batches(pending, self.batch_size)
         completed = 0
         try:
-            for _, outcome in self.backend.run_unordered(pending, self.retry):
+            for _, outcome in self.backend.run_units(units, self.retry):
                 store.add(outcome)
                 completed += 1
                 if progress is not None:
@@ -439,9 +667,12 @@ def run_campaign(
     retry: Optional[RetryPolicy] = None,
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 10,
+    batch_size: int = 0,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignExecutor`."""
-    return CampaignExecutor(backend=backend, max_workers=max_workers, retry=retry).run(
+    return CampaignExecutor(
+        backend=backend, max_workers=max_workers, retry=retry, batch_size=batch_size
+    ).run(
         campaign,
         resume=resume,
         checkpoint_path=checkpoint_path,

@@ -1,0 +1,344 @@
+"""Batch-axis Q-table operations for the batched simulation engine.
+
+:class:`BatchedAgents` lifts the per-epoch hot path of
+:meth:`~repro.rtm.qlearning.QLearningAgent.update_and_select` onto a leading
+*scenario* axis: S agents that are stepped in lock-step (every agent makes
+exactly one fused update-and-select per decision epoch) share one
+``(S, num_states, num_actions)`` Q-value array, one visit-count array and
+one memoised per-row argmax cache, so the Bellman update, the greedy-action
+repair and the ε-greedy selection of a whole scenario batch cost a handful
+of NumPy operations instead of S Python method calls.
+
+Bit-identity contract — the reason this class exists at all: every float
+produced here is the result of the *same IEEE operation on the same
+operands* as the scalar agent's, so a batched run reproduces S scalar runs
+exactly (same Q-values, same greedy actions, same ε trajectories, same RNG
+draw sequences).  The parts of the scalar path whose results depend on
+``math.exp`` (the ε decay of eq. 6 and the exploration policy's sample)
+stay scalar islands: the decay is evaluated per agent with ``math.exp`` and
+memoised per distinct ``(ε, α)`` pair, and explorative draws call each
+agent's own ``random.Random`` and policy object in the scalar call order.
+Two provable shortcuts keep those islands small:
+
+* an agent whose ε already sits at its floor is skipped by the decay loop —
+  the scalar schedule clamps the decayed value back to the floor, so ε
+  cannot change again;
+* an exploiting agent never touches its RNG — the scalar expression
+  ``(not exploiting) and rng.random() < epsilon`` short-circuits — so once
+  a batch has converged its epochs are fully vectorised.
+
+The class operates on *live* :class:`~repro.rtm.qlearning.QLearningAgent`
+instances: their hyper-parameters are packed into per-agent arrays on entry
+(agents in one batch may differ in learning rate, discount, reward gating
+or exploration policy), their RNGs are used in place, and
+:meth:`write_back` restores every piece of scalar agent state — Q-values,
+visit counts, argmax cache, ε, draw/update/selection counters and the
+exploitation-start marker — so probes and reports read the agents exactly
+as if each had run alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rtm.qlearning import QLearningAgent
+
+
+class BatchedAgents:
+    """Lock-step batch of Q-learning agents sharing batched table storage.
+
+    Parameters
+    ----------
+    agents:
+        The live agents, one per batched scenario.  All must share the same
+        state/action space shape (their tables are stacked into one array);
+        every other hyper-parameter may vary per agent.
+    np_module:
+        The imported NumPy module (injected so the batched engine's import
+        seam controls this class too).
+    """
+
+    def __init__(self, agents: Sequence[QLearningAgent], np_module) -> None:
+        if not agents:
+            raise ConfigurationError("BatchedAgents needs at least one agent")
+        np = np_module
+        self._np = np
+        self.agents = list(agents)
+        first = agents[0].qtable
+        num_states, num_actions = first.num_states, first.num_actions
+        for agent in agents:
+            if (
+                agent.qtable.num_states != num_states
+                or agent.qtable.num_actions != num_actions
+            ):
+                raise ConfigurationError(
+                    "all agents in a batch must share the Q-table shape"
+                )
+        self.num_states = num_states
+        self.num_actions = num_actions
+        size = len(self.agents)
+        self.size = size
+        self._rows = np.arange(size)
+
+        # Batched table storage (float64 / int64 / intp mirror the scalar
+        # list-of-lists contents exactly; stacking copies, never aliases).
+        self.values = np.array(
+            [agent.qtable._values for agent in agents], dtype=float
+        )
+        self.visits = np.array(
+            [agent.qtable._visit_counts for agent in agents], dtype=np.int64
+        )
+        self.best_cache = np.array(
+            [agent.qtable._best_action_cache for agent in agents], dtype=np.intp
+        )
+
+        # Per-agent hyper-parameters as arrays (heterogeneous batches are
+        # vectorised for free).
+        self.learning_rate = np.array(
+            [agent.parameters.learning_rate for agent in agents]
+        )
+        self._retention = 1.0 - self.learning_rate
+        self.discount = np.array([agent.parameters.discount for agent in agents])
+        schedules = [agent.epsilon_schedule for agent in agents]
+        self.epsilon = np.array([schedule._epsilon for schedule in schedules])
+        self.minimum_epsilon = np.array(
+            [schedule.minimum_epsilon for schedule in schedules]
+        )
+        self.alpha = np.array([schedule.alpha for schedule in schedules])
+        self.decay_on_any_reward = np.array(
+            [schedule.decay_on_any_reward for schedule in schedules], dtype=bool
+        )
+
+        # Scalar islands: RNG streams and exploration policies, per agent.
+        self._rngs = [agent._rng for agent in agents]
+        self._policies = [agent.policy for agent in agents]
+        self._frequencies = [agent.action_frequencies_hz for agent in agents]
+
+        # Bookkeeping counters.  The selection/update counters are
+        # batch-invariant (every agent performs one fused call per epoch),
+        # so two Python ints carry them; the rest are per-agent arrays.
+        self._initial_selection_count = agents[0]._selection_count
+        for agent in agents:
+            if agent._selection_count != self._initial_selection_count:
+                raise ConfigurationError(
+                    "agents in a batch must have equal selection counts"
+                )
+        self._selection_count = self._initial_selection_count
+        self._fused_calls = 0
+        self.exploration_draws = np.array(
+            [agent._exploration_draws for agent in agents], dtype=np.int64
+        )
+        self.exploitation_start = np.array(
+            [
+                -1 if agent._exploitation_start is None else agent._exploitation_start
+                for agent in agents
+            ],
+            dtype=np.int64,
+        )
+        self.last_update_changed_policy = np.zeros(size, dtype=bool)
+        self._decay_cache: dict = {}
+        # Fast-path flag: once every ε sits at its floor the decay loop,
+        # the RNG islands and the freeze bookkeeping are provably no-ops
+        # (the scalar schedule clamps a floored ε forever), so converged
+        # epochs skip straight to the greedy tail.
+        self._all_at_floor = bool((self.epsilon <= self.minimum_epsilon).all())
+        self._ones = np.ones(size, dtype=bool)
+        self._false = np.zeros(size, dtype=bool)
+
+    # -- derived flags -------------------------------------------------------------
+    @property
+    def selection_count(self) -> int:
+        """Batch-invariant number of action selections performed so far."""
+        return self._selection_count
+
+    def is_exploiting(self):
+        """Boolean array: agents whose ε has decayed to (or below) its floor."""
+        return self.epsilon <= self.minimum_epsilon
+
+    def record_visit(self, state: int, action: int) -> None:
+        """Credit one (state, action) visit to every agent in the batch."""
+        self.visits[:, state, action] += 1
+
+    def _recompute_greedy(self, member_rows, states):
+        """Highest-index argmax of ``values[member, state]`` for each pair.
+
+        The scalar :meth:`QTable.best_action` scans the row from the top and
+        returns the first index attaining the maximum; on a reversed row
+        that is exactly ``num_actions - 1 - argmax``.
+        """
+        np = self._np
+        rows = self.values[member_rows, states]
+        return self.num_actions - 1 - np.argmax(rows[:, ::-1], axis=1)
+
+    # -- the fused per-epoch step -------------------------------------------------
+    def update_and_select(
+        self,
+        state,
+        action,
+        reward,
+        next_state,
+        slack,
+        progress_reward,
+    ) -> Tuple["object", "object", "object"]:
+        """Batched :meth:`QLearningAgent.update_and_select` — one epoch, S agents.
+
+        All arguments are ``(S,)`` arrays.  Returns ``(next_action,
+        explored, exploiting)`` arrays with the scalar method's semantics.
+        """
+        np = self._np
+        rows = self._rows
+        values = self.values
+        best_cache = self.best_cache
+        num_actions = self.num_actions
+
+        # -- Bellman update (exactly QLearningAgent.update_and_select) ------
+        greedy_before = best_cache[rows, state]
+        missing = greedy_before < 0
+        if missing.any():
+            miss_rows = np.nonzero(missing)[0]
+            recomputed = self._recompute_greedy(miss_rows, state[miss_rows])
+            greedy_before[miss_rows] = recomputed
+            best_cache[miss_rows, state[miss_rows]] = recomputed
+        confirmed = np.abs(action - greedy_before) <= 1
+        next_best_value = values[rows, next_state].max(axis=1)
+        target = reward + self.discount * next_best_value
+        learning_rate = self.learning_rate
+        old_value = values[rows, state, action]
+        new_value = self._retention * old_value + learning_rate * target
+        values[rows, state, action] = new_value
+
+        on_greedy = action == greedy_before
+        # Off-greedy write: the greedy cell is untouched, so the argmax can
+        # only move *to* the written cell (ties break towards the higher
+        # index, as in the scalar reverse scan).
+        best_value = values[rows, state, greedy_before]
+        takes_over = (new_value > best_value) | (
+            (new_value == best_value) & (action > greedy_before)
+        )
+        greedy_after = np.where(
+            on_greedy, greedy_before, np.where(takes_over, action, greedy_before)
+        )
+        # On-greedy write that *lowered* the cell: the argmax may have moved
+        # anywhere — recompute those rows from the updated values.
+        dropped = on_greedy & (new_value < old_value)
+        if dropped.any():
+            drop_rows = np.nonzero(dropped)[0]
+            greedy_after[drop_rows] = self._recompute_greedy(
+                drop_rows, state[drop_rows]
+            )
+        best_cache[rows, state] = greedy_after
+        self.last_update_changed_policy = greedy_after != greedy_before
+        self._fused_calls += 1
+
+        next_action = np.empty(self.size, dtype=np.intp)
+        if self._all_at_floor:
+            # Every ε is clamped at its floor: no decay, no freeze, no RNG
+            # touch — the scalar path would no-op all three.
+            exploiting = self._ones
+            explored = self._false
+            self._selection_count += 1
+            pick_rows = rows
+        else:
+            # -- ε decay (eq. 6), scalar math.exp island --------------------
+            gated = self.decay_on_any_reward | ((progress_reward > 0.0) & confirmed)
+            pending = np.nonzero(gated & (self.epsilon > self.minimum_epsilon))[0]
+            if pending.size:
+                epsilon = self.epsilon
+                minimum = self.minimum_epsilon
+                alpha = self.alpha
+                cache = self._decay_cache
+                for member in pending:
+                    eps = float(epsilon[member])
+                    a = float(alpha[member])
+                    key = (eps, a)
+                    decayed = cache.get(key)
+                    if decayed is None:
+                        decayed = eps * math.exp(-a * (1.0 - eps))
+                        cache[key] = decayed
+                    floor = minimum[member]
+                    epsilon[member] = decayed if decayed > floor else floor
+
+            # -- action selection (exactly the scalar tail) ------------------
+            exploiting = self.epsilon <= self.minimum_epsilon
+            freezing = exploiting & (self.exploitation_start < 0)
+            if freezing.any():
+                self.exploitation_start[freezing] = self._selection_count
+            self._selection_count += 1
+
+            explored = np.zeros(self.size, dtype=bool)
+            learners = np.nonzero(~exploiting)[0]
+            if learners.size:
+                epsilon = self.epsilon
+                rngs = self._rngs
+                policies = self._policies
+                frequencies = self._frequencies
+                for member in learners:
+                    rng = rngs[member]
+                    if rng.random() < epsilon[member]:
+                        next_action[member] = policies[member].sample(
+                            num_actions,
+                            frequencies[member],
+                            float(slack[member]),
+                            rng,
+                        )
+                        explored[member] = True
+                        self.exploration_draws[member] += 1
+            else:
+                self._all_at_floor = True
+            pick_rows = np.nonzero(~explored)[0]
+
+        # Greedy pick from the next-state cache.  Members whose state did
+        # not change read the entry written by the Bellman update above
+        # (== ``greedy_after``), so one gather serves both cases.
+        if pick_rows.size:
+            pick_states = next_state[pick_rows]
+            cached = best_cache[pick_rows, pick_states]
+            stale = cached < 0
+            if stale.any():
+                stale_rows = pick_rows[stale]
+                recomputed = self._recompute_greedy(
+                    stale_rows, next_state[stale_rows]
+                )
+                cached[stale] = recomputed
+                best_cache[stale_rows, next_state[stale_rows]] = recomputed
+            next_action[pick_rows] = cached
+
+        self.visits[rows, next_state, next_action] += 1
+        return next_action, explored, exploiting
+
+    # -- state restoration ----------------------------------------------------------
+    def write_back(self) -> None:
+        """Restore every agent's scalar state from the batched arrays.
+
+        After this call each agent is indistinguishable from one that ran
+        the same epochs alone: Q-values, visit counts, argmax cache, ε,
+        draw/update/selection counters and the exploitation-start marker
+        all match bit for bit.
+        """
+        values = self.values
+        visits = self.visits
+        best_cache = self.best_cache
+        for member, agent in enumerate(self.agents):
+            qtable = agent.qtable
+            qtable._values = values[member].tolist()
+            qtable._visit_counts = visits[member].tolist()
+            qtable._best_action_cache = best_cache[member].tolist()
+            agent.epsilon_schedule._epsilon = float(self.epsilon[member])
+            agent._exploration_draws = int(self.exploration_draws[member])
+            agent._update_count += self._fused_calls
+            agent._selection_count = self._selection_count
+            start = int(self.exploitation_start[member])
+            agent._exploitation_start = None if start < 0 else start
+            agent._last_update_changed_policy = bool(
+                self.last_update_changed_policy[member]
+            )
+
+
+def stack_agents(
+    governors: Sequence[object], np_module
+) -> Tuple[BatchedAgents, List[QLearningAgent]]:
+    """Build a :class:`BatchedAgents` from RL governors' live agents."""
+    agents = [governor.agent for governor in governors]
+    return BatchedAgents(agents, np_module), agents

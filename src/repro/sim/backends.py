@@ -11,14 +11,15 @@ strategy is an :class:`EngineBackend` that *declares* its capabilities, and
 
 Built-in backends, in negotiation order (highest priority first):
 
-========== ======== ================ ====== ===== =========================
-name       thermal  static schedule  tables numpy module
-========== ======== ================ ====== ===== =========================
-fastpath   no       required         no     yes   :mod:`repro.sim.fastpath`
-tablepath  no       no               yes    yes   :mod:`repro.sim.tablepath`
-thermalpath yes     no               yes    yes   :mod:`repro.sim.thermalpath`
-scalar     yes      no               no     no    :mod:`repro.sim.scalarpath`
-========== ======== ================ ====== ===== =========================
+=========== ======== ================ ====== ===== ===== ===========================
+name        thermal  static schedule  tables numpy batch module
+=========== ======== ================ ====== ===== ===== ===========================
+fastpath    no       required         no     yes   no    :mod:`repro.sim.fastpath`
+tablepath   no       no               yes    yes   no    :mod:`repro.sim.tablepath`
+thermalpath yes      no               yes    yes   no    :mod:`repro.sim.thermalpath`
+scalar      yes      no               no     no    no    :mod:`repro.sim.scalarpath`
+batchpath   yes      no               yes    yes   yes   :mod:`repro.sim.batchpath`
+=========== ======== ================ ====== ===== ===== ===========================
 
 ``scalar`` is the reference implementation every other backend is
 validated against; it accepts every request.  ``auto`` negotiation walks
@@ -35,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import SimulationError
-from repro.sim import fastpath, scalarpath, tablepath, thermalpath
+from repro.sim import batchpath, fastpath, scalarpath, tablepath, thermalpath
 from repro.sim.results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +51,7 @@ SCALAR = "scalar"
 FASTPATH = "fastpath"
 TABLEPATH = "tablepath"
 THERMALPATH = "thermalpath"
+BATCHPATH = "batchpath"
 
 #: The wildcard engine request: negotiate the fastest eligible backend.
 AUTO = "auto"
@@ -74,12 +76,18 @@ class BackendCapabilities:
         The backend consumes precomputed physics tables and will call the
         engine's table provider (the campaign executor's per-worker cache
         hook) when one is supplied.
+    supports_batch:
+        The backend can step multiple compatible scenarios simultaneously
+        (a batch axis over scenarios sharing an application trace, cluster
+        physics and thermal mode).  The campaign batch planner only
+        dispatches scenario groups to backends declaring this flag.
     """
 
     supports_thermal: bool = False
     requires_static_schedule: bool = False
     requires_numpy: bool = False
     supports_tables: bool = False
+    supports_batch: bool = False
 
 
 _SCHEDULE_UNPROBED = object()
@@ -269,6 +277,38 @@ class ThermalPathBackend(EngineBackend):
         )
 
 
+class BatchPathBackend(EngineBackend):
+    """Batched multi-scenario engine (batch axis over compatible scenarios).
+
+    On a single request it degrades to a batch of one, which is strictly
+    slower than ``tablepath``/``thermalpath`` (same per-frame maths, plus
+    the batch bookkeeping) — hence the negative priority: ``auto`` never
+    selects it.  It earns its keep when the campaign batch planner hands a
+    *group* of compatible scenarios to :func:`repro.sim.batchpath.run_batch`
+    directly, amortising one frame loop across the whole group.
+    """
+
+    name = BATCHPATH
+    capabilities = BackendCapabilities(
+        supports_thermal=True,
+        requires_numpy=True,
+        supports_tables=True,
+        supports_batch=True,
+    )
+    priority = -10
+
+    def numpy_available(self) -> bool:
+        return batchpath._np is not None
+
+    def run(self, request: EngineRequest) -> SimulationResult:
+        return batchpath.simulate_batch(
+            [(request.cluster, request.governor)],
+            request.application,
+            request.config,
+            tables=request.tables(),
+        )[0]
+
+
 # ---------------------------------------------------------------------------
 # Registry.
 # ---------------------------------------------------------------------------
@@ -371,3 +411,4 @@ register_backend(FastPathBackend())
 register_backend(TablePathBackend())
 register_backend(ThermalPathBackend())
 register_backend(ScalarBackend())
+register_backend(BatchPathBackend())

@@ -12,6 +12,7 @@ the CLI and the summary report.
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 
 import pytest
 
@@ -56,7 +57,13 @@ def _request(governor=None, cluster=None, config=None):
 
 class TestRegistry:
     def test_builtin_backends_in_priority_order(self):
-        assert backend_names() == ["fastpath", "tablepath", "thermalpath", "scalar"]
+        assert backend_names() == [
+            "fastpath",
+            "tablepath",
+            "thermalpath",
+            "scalar",
+            "batchpath",
+        ]
 
     def test_capability_matrix(self):
         matrix = capability_matrix()
@@ -67,6 +74,14 @@ class TestRegistry:
         assert not matrix["tablepath"].supports_thermal
         assert matrix["thermalpath"].supports_thermal
         assert matrix["thermalpath"].supports_tables
+        assert matrix["batchpath"].supports_batch
+        assert matrix["batchpath"].supports_thermal
+        assert matrix["batchpath"].supports_tables
+        assert not any(
+            capabilities.supports_batch
+            for name, capabilities in matrix.items()
+            if name != "batchpath"
+        )
 
     def test_unknown_backend_rejected_with_names(self):
         with pytest.raises(SimulationError, match="registered backends"):
@@ -89,6 +104,68 @@ class TestRegistry:
             register_backend(Nameless())
         with pytest.raises(SimulationError):
             unregister_backend("warp-drive")
+
+
+@contextmanager
+def _temporarily_registered(*entries: EngineBackend):
+    """Register backends for one test, guaranteeing unregistration.
+
+    Yields the registered backends; on exit every one still present is
+    removed, so a failing assertion cannot leak registry state into the
+    next test.
+    """
+    registered = []
+    try:
+        for entry in entries:
+            register_backend(entry)
+            registered.append(entry)
+        yield entries
+    finally:
+        for entry in reversed(registered):
+            try:
+                unregister_backend(entry.name)
+            except SimulationError:  # pragma: no cover - already removed
+                pass
+
+
+def _accepting_backend(name, priority):
+    """A uniquely-typed accept-everything backend for negotiation tests."""
+
+    class _Probe(EngineBackend):
+        capabilities = BackendCapabilities(supports_thermal=True)
+
+        def run(self, request):  # pragma: no cover - negotiation only
+            raise AssertionError
+
+    _Probe.name = name
+    _Probe.priority = priority
+    return _Probe()
+
+
+class TestNegotiationOrder:
+    def test_equal_priority_ties_break_by_registration_order(self):
+        """Two backends at the same priority: the earlier registration wins."""
+        first = _accepting_backend("tie-first", 99)
+        second = _accepting_backend("tie-second", 99)
+        with _temporarily_registered(first, second):
+            assert negotiate(_request()).name == "tie-first"
+            names = backend_names()
+            assert names.index("tie-first") < names.index("tie-second")
+
+    def test_unregister_restores_prior_negotiation_order(self):
+        """Removing a winning backend falls negotiation back to the next one,
+        and removing both restores the built-in order exactly."""
+        baseline = backend_names()
+        winner = _accepting_backend("pre-empt", 99)
+        runner_up = _accepting_backend("runner-up", 98)
+        with _temporarily_registered(winner, runner_up):
+            assert negotiate(_request()).name == "pre-empt"
+            unregister_backend("pre-empt")
+            assert negotiate(_request()).name == "runner-up"
+            unregister_backend("runner-up")
+            assert backend_names() == baseline
+            assert negotiate(_request()).name == "tablepath"
+        assert backend_names() == baseline
 
 
 class _RecordingBackend(EngineBackend):
@@ -342,9 +419,26 @@ class TestCliEngineFlag:
         assert main([str(spec_path), "--output", str(output), "--quiet"]) == 0
         store = CampaignResult.load(str(output))
         engines = {o.label: o.result.engine_used for o in store}
-        assert engines == {"ondemand": "tablepath", "oracle": "fastpath"}
+        # The batch planner (on by default) routes closed-loop scenarios to
+        # the batched engine; static-schedule governors keep the fastpath.
+        assert engines == {"ondemand": "batchpath", "oracle": "fastpath"}
         summary = capsys.readouterr().out
-        assert "tablepath" in summary and "fastpath" in summary
+        assert "batchpath" in summary and "fastpath" in summary
+        assert "physics-table cache:" in summary
+
+    def test_batch_size_zero_disables_the_planner(self, tmp_path):
+        from repro.campaign.cli import main
+        from repro.campaign.results import CampaignResult
+
+        spec_path = self._write_spec(tmp_path)
+        output = tmp_path / "results.json"
+        code = main(
+            [str(spec_path), "--batch-size", "0", "--output", str(output), "--quiet"]
+        )
+        assert code == 0
+        store = CampaignResult.load(str(output))
+        engines = {o.label: o.result.engine_used for o in store}
+        assert engines == {"ondemand": "tablepath", "oracle": "fastpath"}
 
     def test_unknown_engine_rejected_by_argparse(self, tmp_path):
         from repro.campaign.cli import main
