@@ -17,8 +17,16 @@ call:
   round-trip persistence and shard-store :meth:`~CampaignResult.merge`,
   feeding the existing :func:`~repro.sim.comparison.compare_to_oracle`
   analysis unchanged;
+* :mod:`repro.campaign.service` — the fault-tolerant distributed layer:
+  a lease/heartbeat :class:`Coordinator` with journalled crash-resume,
+  the JSON-over-HTTP transport, pull-based :class:`WorkerSite`\\ s with
+  graceful degradation, and :func:`run_campaign_service`;
+* :mod:`repro.campaign.faults` — the deterministic fault-injection
+  harness proving any fault schedule yields a result bit-identical to an
+  unsharded serial run;
 * :mod:`repro.campaign.cli` — the ``repro-campaign`` console entry point
-  (run, ``--shard I/N``, and the ``merge`` subcommand).
+  (run, ``--shard I/N``, and the ``merge`` / ``serve`` / ``work``
+  subcommands).
 
 Quickstart
 ----------
@@ -55,6 +63,7 @@ from repro.campaign.results import (
     STATUS_FAILED,
     CampaignResult,
     ScenarioOutcome,
+    quarantine_corrupt_file,
 )
 from repro.campaign.executor import (
     BACKENDS,
@@ -66,6 +75,23 @@ from repro.campaign.executor import (
     run_campaign,
     run_scenario,
     run_scenario_safely,
+)
+from repro.campaign.service import (
+    Coordinator,
+    CoordinatorServer,
+    HTTPClient,
+    LocalClient,
+    ServiceEvent,
+    WorkerSite,
+    WorkerStats,
+    run_campaign_service,
+)
+from repro.campaign.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultRunReport,
+    FaultSchedule,
+    run_with_faults,
 )
 
 __all__ = [
@@ -86,6 +112,20 @@ __all__ = [
     "run_campaign",
     "run_scenario",
     "run_scenario_safely",
+    "quarantine_corrupt_file",
+    "Coordinator",
+    "CoordinatorServer",
+    "HTTPClient",
+    "LocalClient",
+    "ServiceEvent",
+    "WorkerSite",
+    "WorkerStats",
+    "run_campaign_service",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultRunReport",
+    "FaultSchedule",
+    "run_with_faults",
     "register_application",
     "register_governor",
     "register_cluster",

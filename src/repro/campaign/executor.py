@@ -21,7 +21,9 @@ seed).
 
 from __future__ import annotations
 
+import hashlib
 import os
+import threading
 import time
 import traceback as traceback_module
 from collections import OrderedDict
@@ -29,7 +31,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, ScenarioTimeoutError
 from repro.campaign import registry
 from repro.campaign.results import CampaignResult, ScenarioOutcome
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
@@ -49,7 +51,12 @@ IndexedOutcomes = Iterable[Tuple[int, ScenarioOutcome]]
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How many times the executor may run each scenario.
+    """How many times — and on what schedule — a scenario may be (re)run.
+
+    The same policy drives both layers of fault tolerance: the executor's
+    in-process retries around :func:`run_scenario_safely`, and the
+    distributed service's lease requeue/backoff in
+    :mod:`repro.campaign.service`.
 
     Attributes
     ----------
@@ -57,11 +64,34 @@ class RetryPolicy:
         Total executions allowed per scenario (1 = no retries).  Only the
         final attempt's exception is recorded in a failed outcome.
     backoff_s:
-        Seconds slept between attempts (0 = retry immediately).
+        Base delay in seconds before re-running a failed attempt.  Kept
+        under its original name (old specs and call sites load unchanged)
+        but now seeds a *capped exponential* schedule: attempt ``k``
+        waits ``backoff_s * 2**(k-1)`` seconds, capped at
+        :attr:`backoff_cap_s`, then spread by deterministic jitter.  With
+        one retry this degenerates to the historical fixed sleep.
+    backoff_cap_s:
+        Upper bound on the exponential delay (before jitter).
+    backoff_jitter:
+        Fractional jitter amplitude in ``[0, 1]``: the delay is scaled by
+        a factor in ``[1 - jitter, 1 + jitter]`` drawn deterministically
+        from ``(backoff_seed, key, attempt)``, so concurrent workers
+        de-synchronise their retries without losing reproducibility.
+    backoff_seed:
+        Seed folded into the jitter hash.
+    timeout_s:
+        Optional per-attempt wall-clock budget.  A scenario still running
+        after this many seconds is recorded as a ``failed`` attempt with
+        :class:`~repro.errors.ScenarioTimeoutError` instead of wedging
+        its worker forever (``None`` = no limit).
     """
 
     max_attempts: int = 1
     backoff_s: float = 0.0
+    backoff_cap_s: float = 60.0
+    backoff_jitter: float = 0.1
+    backoff_seed: int = 0
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -70,6 +100,38 @@ class RetryPolicy:
             )
         if self.backoff_s < 0:
             raise ConfigurationError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_cap_s < 0:
+            raise ConfigurationError(
+                f"backoff_cap_s must be >= 0, got {self.backoff_cap_s}"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive or None, got {self.timeout_s}"
+            )
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait after failed ``attempt`` (1-based) before retrying.
+
+        Deterministic: the same ``(policy, attempt, key)`` always yields
+        the same delay — pass a stable ``key`` (e.g. the scenario id) so
+        different scenarios spread out while any one scenario's schedule
+        stays reproducible.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        if self.backoff_s <= 0:
+            return 0.0
+        delay = min(self.backoff_s * (2.0 ** (attempt - 1)), self.backoff_cap_s)
+        if self.backoff_jitter > 0.0:
+            token = f"{self.backoff_seed}:{key}:{attempt}".encode("utf-8")
+            digest = hashlib.sha256(token).digest()
+            unit = int.from_bytes(digest[:8], "big") / 2.0**64  # [0, 1)
+            delay *= 1.0 + self.backoff_jitter * (2.0 * unit - 1.0)
+        return delay
 
 
 class CampaignInterrupted(ReproError):
@@ -261,8 +323,45 @@ def run_scenario(scenario: ScenarioSpec) -> ScenarioOutcome:
     return ScenarioOutcome(scenario=scenario, result=result, probe=probe_data)
 
 
+def _run_scenario_with_timeout(
+    scenario: ScenarioSpec, timeout_s: float
+) -> ScenarioOutcome:
+    """Run one scenario on a watchdog thread, bounded to ``timeout_s`` seconds.
+
+    The scenario executes on a daemon thread and the caller waits at most
+    ``timeout_s``; on expiry a :class:`~repro.errors.ScenarioTimeoutError`
+    is raised (and recorded by :func:`run_scenario_safely` like any other
+    attempt failure).  The abandoned thread cannot be killed — it is left
+    to finish (or hang) as a daemon and its eventual result is discarded,
+    which is the price of never wedging the worker.
+    """
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["outcome"] = run_scenario(scenario)
+        except BaseException as exc:  # noqa: BLE001 — re-raised on the caller
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=target, name=f"scenario-{scenario.scenario_id}", daemon=True
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise ScenarioTimeoutError(
+            f"scenario {scenario.label!r} still running after timeout_s={timeout_s}"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["outcome"]
+
+
 def run_scenario_safely(
-    scenario: ScenarioSpec, max_attempts: int = 1, backoff_s: float = 0.0
+    scenario: ScenarioSpec,
+    max_attempts: int = 1,
+    backoff_s: float = 0.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> ScenarioOutcome:
     """Execute one scenario, converting failure into a ``failed`` outcome.
 
@@ -272,20 +371,33 @@ def run_scenario_safely(
     traceback are captured in a ``failed`` outcome so the campaign records
     the crash instead of dying from it.  ``KeyboardInterrupt`` (and other
     non-``Exception`` interrupts) still propagate.
+
+    Pass ``retry`` to drive the run from a full :class:`RetryPolicy`
+    (capped exponential backoff with deterministic jitter, optional
+    per-attempt ``timeout_s`` guard); the positional ``max_attempts`` /
+    ``backoff_s`` arguments are kept for existing call sites and are
+    ignored when a policy is given.
     """
-    for attempt in range(1, max_attempts + 1):
+    policy = retry if retry is not None else RetryPolicy(
+        max_attempts=max_attempts, backoff_s=backoff_s
+    )
+    for attempt in range(1, policy.max_attempts + 1):
         try:
-            outcome = run_scenario(scenario)
+            if policy.timeout_s is not None:
+                outcome = _run_scenario_with_timeout(scenario, policy.timeout_s)
+            else:
+                outcome = run_scenario(scenario)
         except Exception as exc:  # noqa: BLE001 — the whole point is to record it
-            if attempt >= max_attempts:
+            if attempt >= policy.max_attempts:
                 return ScenarioOutcome.failure(
                     scenario,
                     error=f"{type(exc).__name__}: {exc}",
                     traceback_text=traceback_module.format_exc(),
                     attempts=attempt,
                 )
-            if backoff_s > 0:
-                time.sleep(backoff_s)
+            delay = policy.delay_for(attempt, scenario.scenario_id)
+            if delay > 0:
+                time.sleep(delay)
         else:
             if attempt > 1:
                 outcome = ScenarioOutcome(
@@ -441,7 +553,10 @@ def run_scenario_batch(scenarios: Sequence[ScenarioSpec]) -> List[ScenarioOutcom
 
 
 def run_scenario_batch_safely(
-    scenarios: Sequence[ScenarioSpec], max_attempts: int = 1, backoff_s: float = 0.0
+    scenarios: Sequence[ScenarioSpec],
+    max_attempts: int = 1,
+    backoff_s: float = 0.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[ScenarioOutcome]:
     """Batch execution with per-scenario degradation on failure.
 
@@ -455,7 +570,7 @@ def run_scenario_batch_safely(
         return run_scenario_batch(scenarios)
     except Exception:  # noqa: BLE001 - degrade to the per-scenario path
         return [
-            run_scenario_safely(scenario, max_attempts, backoff_s)
+            run_scenario_safely(scenario, max_attempts, backoff_s, retry=retry)
             for scenario in scenarios
         ]
 
@@ -477,17 +592,13 @@ class SerialBackend:
         for batched, entries in units:
             if batched:
                 outcomes = run_scenario_batch_safely(
-                    [scenario for _, scenario in entries],
-                    retry.max_attempts,
-                    retry.backoff_s,
+                    [scenario for _, scenario in entries], retry=retry
                 )
                 for (index, _), outcome in zip(entries, outcomes):
                     yield index, outcome
             else:
                 index, scenario = entries[0]
-                yield index, run_scenario_safely(
-                    scenario, retry.max_attempts, retry.backoff_s
-                )
+                yield index, run_scenario_safely(scenario, retry=retry)
 
 
 class ProcessPoolBackend:
@@ -526,15 +637,11 @@ class ProcessPoolBackend:
                     future = pool.submit(
                         run_scenario_batch_safely,
                         [scenario for _, scenario in entries],
-                        retry.max_attempts,
-                        retry.backoff_s,
+                        retry=retry,
                     )
                 else:
                     future = pool.submit(
-                        run_scenario_safely,
-                        entries[0][1],
-                        retry.max_attempts,
-                        retry.backoff_s,
+                        run_scenario_safely, entries[0][1], retry=retry
                     )
                 futures[future] = (batched, [index for index, _ in entries])
             try:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
@@ -37,6 +38,42 @@ from repro.sim.results import SimulationResult
 STATUS_DONE = "done"
 #: Status of a scenario whose execution raised on every allowed attempt.
 STATUS_FAILED = "failed"
+
+#: Everything a corrupt/truncated checkpoint file can raise while parsing:
+#: JSON decode errors (``ValueError``), missing keys, wrong value shapes.
+CORRUPT_CHECKPOINT_ERRORS = (ValueError, KeyError, TypeError, AttributeError)
+
+
+def quarantine_corrupt_file(path: str, reason: Exception) -> Optional[str]:
+    """Move an unreadable checkpoint aside and warn, instead of raising.
+
+    A crash mid-``os.replace`` on exotic filesystems (or a partial copy)
+    can leave a truncated or garbled JSON file where a checkpoint should
+    be.  This renames it to ``<path>.corrupt`` (``.corrupt-2``, ... when
+    one already exists) so the bad bytes stay available for post-mortem
+    while the caller resumes from scratch.  Returns the quarantine path,
+    or ``None`` when even the rename failed (the warning still fires).
+    """
+    quarantine = f"{path}.corrupt"
+    suffix = 1
+    while os.path.exists(quarantine):
+        suffix += 1
+        quarantine = f"{path}.corrupt-{suffix}"
+    try:
+        os.replace(path, quarantine)
+    except OSError:
+        quarantine = None
+    warnings.warn(
+        f"checkpoint {path!r} is corrupt ({type(reason).__name__}: {reason}); "
+        + (
+            f"quarantined to {quarantine!r} and resuming from scratch"
+            if quarantine
+            else "could not quarantine it; resuming from scratch"
+        ),
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return quarantine
 
 
 @dataclass(frozen=True)
@@ -343,6 +380,26 @@ class CampaignResult:
     def load(cls, path: str) -> "CampaignResult":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_json(handle.read())
+
+    @classmethod
+    def load_checkpoint(cls, path: str) -> Optional["CampaignResult"]:
+        """Load a checkpoint file, degrading gracefully when it is unusable.
+
+        Returns ``None`` when the file does not exist, and — unlike
+        :meth:`load` — when it exists but cannot be parsed: the corrupt
+        file is moved aside via :func:`quarantine_corrupt_file` (with a
+        ``RuntimeWarning``) and the campaign resumes from scratch instead
+        of dying on a ``JSONDecodeError``.  Completed work checkpointed
+        *before* the corruption was introduced is only lost in that rare
+        quarantine case; the atomic save path makes it rarer still.
+        """
+        try:
+            return cls.load(path)
+        except FileNotFoundError:
+            return None
+        except CORRUPT_CHECKPOINT_ERRORS as exc:
+            quarantine_corrupt_file(path, exc)
+            return None
 
     def __repr__(self) -> str:
         return f"CampaignResult({self.campaign_name!r}, {len(self)} outcomes)"

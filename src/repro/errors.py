@@ -37,5 +37,19 @@ class SimulationError(ReproError):
     """The simulation engine was driven into an inconsistent state."""
 
 
+class ScenarioTimeoutError(SimulationError):
+    """A scenario exceeded its per-run wall-clock budget (``timeout_s``).
+
+    Raised by the executor's timeout guard so a hung scenario is recorded
+    as a ``failed`` outcome instead of wedging its worker forever.
+    """
+
+
+class ServiceError(ReproError):
+    """The distributed campaign service was driven into an invalid state
+    (unknown operation, incomplete campaign asked for its final result,
+    every worker lost while work is still pending, ...)."""
+
+
 class StateSpaceError(ReproError):
     """A value could not be mapped into the discretised RL state space."""

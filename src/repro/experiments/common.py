@@ -62,6 +62,13 @@ class ExperimentSettings:
         Scenario completions between checkpoint writes.
     max_attempts:
         Per-scenario execution attempts (> 1 retries crashing scenarios).
+    retry_backoff_s:
+        Base seconds between retry attempts (capped exponential backoff
+        with deterministic jitter; 0 retries immediately).
+    timeout_s:
+        Per-scenario wall-clock budget; a scenario still running after
+        this many seconds is recorded as ``failed`` with a timeout error
+        instead of hanging the whole sweep.  ``None`` disables the guard.
     """
 
     num_frames: int = 600
@@ -72,13 +79,19 @@ class ExperimentSettings:
     checkpoint_dir: Optional[str] = field(default_factory=default_checkpoint_dir)
     checkpoint_every: int = 10
     max_attempts: int = 1
+    retry_backoff_s: float = 0.0
+    timeout_s: Optional[float] = None
 
     def make_executor(self) -> CampaignExecutor:
         """Build the campaign executor every driver runs its sweep on."""
         return CampaignExecutor(
             backend=self.backend,
             max_workers=self.max_workers,
-            retry=RetryPolicy(max_attempts=self.max_attempts),
+            retry=RetryPolicy(
+                max_attempts=self.max_attempts,
+                backoff_s=self.retry_backoff_s,
+                timeout_s=self.timeout_s,
+            ),
         )
 
     def checkpoint_path(self, campaign: CampaignSpec) -> Optional[str]:
@@ -98,9 +111,11 @@ class ExperimentSettings:
         completed work for the next attempt).
         """
         checkpoint = self.checkpoint_path(campaign)
-        resume = None
-        if checkpoint and os.path.exists(checkpoint):
-            resume = CampaignResult.load(checkpoint)
+        # load_checkpoint quarantines a checkpoint truncated by a crash
+        # instead of dying on it — the driver restarts from scratch.
+        resume = (
+            CampaignResult.load_checkpoint(checkpoint) if checkpoint else None
+        )
         store = self.make_executor().run(
             campaign,
             resume=resume,

@@ -9,6 +9,9 @@ deterministic sharding, shard-store merging, and the CLI's ``--shard`` /
 
 import json
 import os
+import signal
+import time
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -74,6 +77,24 @@ def _flaky_governor(fail_times=1):
     _FLAKY_CALLS["n"] += 1
     if _FLAKY_CALLS["n"] <= fail_times:
         raise RuntimeError(f"flaky failure {_FLAKY_CALLS['n']}")
+    return PerformanceGovernor()
+
+
+@register_governor("test-hanging-governor")
+def _hanging_governor(hang_s=10.0):
+    time.sleep(hang_s)
+    return PerformanceGovernor()
+
+
+@register_governor("test-kamikaze-governor")
+def _kamikaze_governor(sentinel=""):
+    # First construction (sentinel file absent) SIGKILLs its own process —
+    # the moral equivalent of the OOM killer hitting a pool worker.  Any
+    # later construction finds the sentinel and behaves.
+    if sentinel and not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as handle:
+            handle.write("armed")
+        os.kill(os.getpid(), signal.SIGKILL)
     return PerformanceGovernor()
 
 
@@ -183,6 +204,187 @@ class TestRetryPolicy:
         store = CampaignExecutor().run(flaky_campaign(1))
         assert not store.outcome("flaky").ok
         assert _FLAKY_CALLS["n"] == 1
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_is_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_s=1.0, backoff_cap_s=4.0, backoff_jitter=0.0
+        )
+        assert [policy.delay_for(k) for k in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=3, backoff_s=1.0, backoff_jitter=0.5)
+        first = policy.delay_for(1, "scenario-a")
+        other = policy.delay_for(1, "scenario-b")
+        assert policy.delay_for(1, "scenario-a") == first  # reproducible
+        assert first != other  # keys de-synchronise
+        assert 0.5 <= first <= 1.5 and 0.5 <= other <= 1.5
+
+    def test_seed_changes_jitter(self):
+        base = RetryPolicy(max_attempts=2, backoff_s=1.0)
+        reseeded = RetryPolicy(max_attempts=2, backoff_s=1.0, backoff_seed=99)
+        assert base.delay_for(1, "x") != reseeded.delay_for(1, "x")
+
+    def test_zero_backoff_means_no_delay(self):
+        assert RetryPolicy(max_attempts=3).delay_for(2, "x") == 0.0
+
+    def test_new_fields_validated(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_cap_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay_for(0)
+
+    def test_legacy_positional_call_still_works(self):
+        outcome = run_scenario_safely(broken_scenario(), 1, 0.0)
+        assert not outcome.ok and outcome.attempts == 1
+
+
+class TestScenarioTimeout:
+    def hung_scenario(self):
+        return ScenarioSpec(
+            label="hung",
+            application=FactorySpec.of("mpeg4", num_frames=FRAMES),
+            governor=FactorySpec.of("test-hanging-governor", hang_s=10.0),
+        )
+
+    def test_hung_scenario_becomes_failed_outcome(self):
+        started = time.monotonic()
+        outcome = run_scenario_safely(
+            self.hung_scenario(), retry=RetryPolicy(timeout_s=0.2)
+        )
+        assert time.monotonic() - started < 5.0  # did not wait the 10 s hang out
+        assert not outcome.ok
+        assert "ScenarioTimeoutError" in outcome.error
+        assert outcome.attempts == 1
+
+    def test_timeout_guard_preserves_result_bits(self, campaign, full_store):
+        scenario = campaign.scenarios[0]
+        guarded = run_scenario_safely(scenario, retry=RetryPolicy(timeout_s=120.0))
+        assert (
+            guarded.to_dict()
+            == full_store.outcomes[scenario.scenario_id].to_dict()
+        )
+
+
+class TestCheckpointQuarantine:
+    def test_corrupt_checkpoint_quarantined_not_fatal(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{truncated by a crash", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert CampaignResult.load_checkpoint(str(path)) is None
+        assert not path.exists()
+        assert (tmp_path / "ckpt.json.corrupt").exists()
+
+    def test_quarantine_suffix_increments(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        (tmp_path / "ckpt.json.corrupt").write_text("earlier", encoding="utf-8")
+        path.write_text("[1, 2, 3]", encoding="utf-8")  # parses, wrong shape
+        with pytest.warns(RuntimeWarning):
+            assert CampaignResult.load_checkpoint(str(path)) is None
+        assert (tmp_path / "ckpt.json.corrupt-2").exists()
+
+    def test_missing_checkpoint_is_none_without_warning(self, tmp_path):
+        assert CampaignResult.load_checkpoint(str(tmp_path / "absent.json")) is None
+
+    def test_valid_checkpoint_loads(self, full_store, tmp_path):
+        path = tmp_path / "ckpt.json"
+        full_store.save(str(path))
+        loaded = CampaignResult.load_checkpoint(str(path))
+        assert loaded is not None and loaded.to_json() == full_store.to_json()
+
+    def test_cli_quarantines_and_reruns(self, campaign, full_store, tmp_path):
+        spec_path = str(tmp_path / "spec.json")
+        campaign.save(spec_path)
+        checkpoint = tmp_path / "ckpt.json"
+        checkpoint.write_text("garbage{", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            rc = cli_main(
+                # --batch-size 0 keeps engine_used stamps comparable to the
+                # unbatched run_campaign reference store.
+                [spec_path, "--quiet", "--batch-size", "0",
+                 "--checkpoint", str(checkpoint)]
+            )
+        assert rc == 0
+        assert CampaignResult.load(str(checkpoint)).to_json() == full_store.to_json()
+        assert (tmp_path / "ckpt.json.corrupt").exists()
+
+
+class TestExecutorFaultInjection:
+    def test_killed_pool_worker_resume_reruns_failed_not_done(self, tmp_path):
+        sentinel = str(tmp_path / "armed")
+        victim = ScenarioSpec(
+            label="kamikaze",
+            application=FactorySpec.of("mpeg4", num_frames=FRAMES),
+            governor=FactorySpec.of("test-kamikaze-governor", sentinel=sentinel),
+        )
+        chaos = CampaignSpec(
+            name="chaos", scenarios=small_campaign(name="chaos").scenarios + (victim,)
+        )
+        path = tmp_path / "ckpt.json"
+        with pytest.raises(BrokenProcessPool):
+            CampaignExecutor(backend="process", max_workers=2).run(
+                chaos, checkpoint_path=str(path), checkpoint_every=1
+            )
+        # The emergency checkpoint holds only work that really finished;
+        # the killed scenario is not in it.
+        checkpoint = CampaignResult.load(str(path))
+        assert victim.scenario_id not in {
+            outcome.scenario_id for outcome in checkpoint if outcome.ok
+        }
+        pending = [scenario.label for scenario in checkpoint.pending(chaos)]
+        executed = []
+        resumed = CampaignExecutor().run(
+            chaos,
+            resume=checkpoint,
+            progress=lambda label, done, total: executed.append(label),
+            checkpoint_path=str(path),
+        )
+        # Resume re-ran exactly the failed-not-done set, nothing else.
+        assert executed == pending
+        assert "kamikaze" in executed
+        assert not resumed.failed()
+        # The sentinel now exists, so a clean serial run is the reference.
+        assert resumed.to_json() == run_campaign(chaos).to_json()
+
+    def test_interrupt_during_checkpoint_write_resumes_cleanly(
+        self, campaign, full_store, tmp_path, monkeypatch
+    ):
+        import repro.campaign.results as results_module
+
+        path = tmp_path / "ckpt.json"
+        real_replace = os.replace
+        armed = {"yes": True}
+
+        def interrupted_replace(src, dst):
+            # Ctrl-C lands exactly inside the first checkpoint publish.
+            if armed["yes"] and str(dst) == str(path):
+                armed["yes"] = False
+                raise KeyboardInterrupt
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(results_module.os, "replace", interrupted_replace)
+        with pytest.raises(CampaignInterrupted) as info:
+            CampaignExecutor().run(
+                campaign, checkpoint_path=str(path), checkpoint_every=1
+            )
+        # The emergency save retried the publish: the file on disk is a
+        # complete, loadable store — never a truncated one.
+        checkpoint = CampaignResult.load(str(path))
+        assert len(checkpoint) == len(info.value.partial) == 1
+        executed = []
+        resumed = CampaignExecutor().run(
+            campaign,
+            resume=checkpoint,
+            progress=lambda label, done, total: executed.append(label),
+            checkpoint_path=str(path),
+        )
+        assert executed == [s.label for s in checkpoint.pending(campaign)]
+        assert resumed.to_json() == full_store.to_json()
 
 
 class TestResumeSemantics:
