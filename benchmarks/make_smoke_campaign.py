@@ -18,21 +18,25 @@ from __future__ import annotations
 import argparse
 
 from repro.campaign import CampaignSpec, FactorySpec
+from repro.testing.parity.harness import SMOKE_SEED, smoke_applications
 
 
 def build_smoke_campaign(num_frames: int = 120) -> CampaignSpec:
-    """A 2 applications x 2 governors grid — small, fast, deterministic."""
+    """A 2 applications x 2 governors grid — small, fast, deterministic.
+
+    The applications and seed are shared with the parity harness's smoke
+    matrix (:func:`repro.testing.parity.harness.smoke_applications`), so the
+    parity gate and the sharded-campaign smoke job exercise the same frame
+    traces and cannot drift apart.
+    """
     return CampaignSpec.from_grid(
         "ci-smoke",
-        applications={
-            "mpeg4": FactorySpec.of("mpeg4", num_frames=num_frames),
-            "fft": FactorySpec.of("fft", num_frames=num_frames),
-        },
+        applications=smoke_applications(num_frames),
         governors={
             "ondemand": FactorySpec.of("ondemand"),
             "oracle": FactorySpec.of("oracle"),
         },
-        seeds=(11,),
+        seeds=(SMOKE_SEED,),
     )
 
 

@@ -5,7 +5,9 @@ without the ``wheel`` package where PEP 660 editable installs are
 unavailable, ``pip install -e . --no-use-pep517 --no-build-isolation``).
 
 The ``repro-campaign`` console script runs a campaign spec from JSON on
-either execution backend — see :mod:`repro.campaign.cli`.
+either execution backend — see :mod:`repro.campaign.cli`.  The
+``repro-parity`` console script is the governor/engine parity gate —
+see :mod:`repro.testing.parity.cli`.
 """
 
 from setuptools import find_packages, setup
@@ -19,10 +21,11 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.8",
+    python_requires=">=3.10",
     entry_points={
         "console_scripts": [
             "repro-campaign=repro.campaign.cli:main",
+            "repro-parity=repro.testing.parity.cli:main",
         ]
     },
 )

@@ -51,5 +51,14 @@ class ServiceError(ReproError):
     every worker lost while work is still pending, ...)."""
 
 
+class ParityError(ReproError):
+    """A parity-harness operation failed (missing golden, unusable spec, ...).
+
+    Not a parity *divergence* — divergences are data
+    (:class:`repro.testing.parity.trace.TraceDivergence`), reported and
+    exit-coded by the harness; this error means the harness itself could
+    not run as asked."""
+
+
 class StateSpaceError(ReproError):
     """A value could not be mapped into the discretised RL state space."""

@@ -86,6 +86,14 @@ class ConservativeGovernor(Governor):
             return max_index
         return index
 
+    def decision_state(self):
+        """Base snapshot plus the threshold configuration under diff."""
+        state = super().decision_state()
+        state["up_threshold"] = self.parameters.up_threshold
+        state["down_threshold"] = self.parameters.down_threshold
+        state["freq_step_indices"] = self.parameters.freq_step_indices
+        return state
+
     def describe(self) -> str:
         p = self.parameters
         return (

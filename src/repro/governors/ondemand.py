@@ -109,6 +109,20 @@ class OndemandGovernor(Governor):
         target_frequency = max(target_frequency, self._min_frequency_hz)
         return table.nearest_index_for_frequency(target_frequency)
 
+    def decision_state(self):
+        """Base snapshot plus the hold counter (ondemand's only hidden state).
+
+        ``sampling_down_factor`` windows at the maximum are tracked by a
+        countdown the observation stream cannot reveal; the parity harness
+        diffs it so two backends that disagree only in the *pending* hold
+        state are still caught.
+        """
+        state = super().decision_state()
+        state["up_threshold"] = self.parameters.up_threshold
+        state["sampling_down_factor"] = self.parameters.sampling_down_factor
+        state["hold_remaining"] = self._hold_remaining
+        return state
+
     def describe(self) -> str:
         return (
             f"ondemand: jump to max above {self.parameters.up_threshold:.0%} load, "

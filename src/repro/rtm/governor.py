@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro._compat import SLOTS
 from repro.errors import GovernorError
@@ -246,6 +246,24 @@ class Governor(ABC):
     def converged_epoch(self) -> Optional[int]:
         """Epoch at which learning converged, if the governor learns and has converged."""
         return None
+
+    def decision_state(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot of the governor's decision-relevant state.
+
+        The parity harness (:mod:`repro.testing.parity`) captures this after
+        a run and diffs it across engine backends: two backends that fed the
+        governor bit-identical observations must leave it in bit-identical
+        state.  The base snapshot covers the reporting hooks every governor
+        has; governors with internal decision state (learnt Q-tables,
+        threshold hold counters) override this, call ``super()`` first, and
+        extend the dict — values must stay JSON scalars / lists / dicts and
+        must be deterministic for a deterministic run.
+        """
+        return {
+            "governor": self.name,
+            "exploration_count": self.exploration_count,
+            "converged_epoch": self.converged_epoch,
+        }
 
     def describe(self) -> str:
         """One-line description used in reports."""

@@ -17,7 +17,7 @@ updates lives in :mod:`repro.rtm.multicore`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.rtm.exploration import ActionSelectionPolicy, ExponentialPolicy, UniformPolicy
@@ -206,6 +206,32 @@ class RLGovernor(Governor):
     def reward_history(self) -> List[float]:
         """Pay-off computed at each decision epoch."""
         return list(self._reward_history)
+
+    def decision_state(self) -> Dict[str, Any]:
+        """Base snapshot plus the learnt state the parity harness must diff.
+
+        Two engine backends only count as equivalent for a learning governor
+        if they leave the *learnt policy* identical, not just the decision
+        trajectory — so the snapshot includes the full Q-table (values and
+        visit counts), the exploration bookkeeping and the reward history
+        length.
+        """
+        state = super().decision_state()
+        agent = self._agent
+        if agent is not None:
+            table = agent.qtable
+            state["qtable_values"] = [
+                list(table.row(row)) for row in range(table.num_states)
+            ]
+            state["qtable_visit_counts"] = [
+                [table.visit_count(row, col) for col in range(table.num_actions)]
+                for row in range(table.num_states)
+            ]
+            state["exploration_draws"] = agent.exploration_draws
+            state["update_count"] = agent.update_count
+            state["epsilon"] = agent.epsilon
+            state["reward_count"] = len(self._reward_history)
+        return state
 
     # -- workload observation hooks (overridden by the many-core formulation) -----------
     def _observed_workload(self, observation: EpochObservation) -> float:

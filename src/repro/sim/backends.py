@@ -81,6 +81,16 @@ class BackendCapabilities:
         (a batch axis over scenarios sharing an application trace, cluster
         physics and thermal mode).  The campaign batch planner only
         dispatches scenario groups to backends declaring this flag.
+    supports_trace_capture:
+        The backend records a complete, deterministic decision trace on its
+        results: per-frame operating points and timing/energy columns on
+        the :class:`~repro.sim.results.SimulationResult`, DVFS transitions
+        on the cluster's actuator, and governor state reachable through
+        :meth:`~repro.rtm.governor.Governor.decision_state`.  The parity
+        harness (:mod:`repro.testing.parity`) only replays through backends
+        declaring this flag; it defaults to False so third-party backends
+        opt in deliberately rather than silently joining the bit-identity
+        contract.
     """
 
     supports_thermal: bool = False
@@ -88,6 +98,7 @@ class BackendCapabilities:
     requires_numpy: bool = False
     supports_tables: bool = False
     supports_batch: bool = False
+    supports_trace_capture: bool = False
 
 
 _SCHEDULE_UNPROBED = object()
@@ -199,7 +210,9 @@ class ScalarBackend(EngineBackend):
     """The frame-by-frame reference loop; accepts every request."""
 
     name = SCALAR
-    capabilities = BackendCapabilities(supports_thermal=True)
+    capabilities = BackendCapabilities(
+        supports_thermal=True, supports_trace_capture=True
+    )
     priority = 0
 
     def run(self, request: EngineRequest) -> SimulationResult:
@@ -213,7 +226,9 @@ class FastPathBackend(EngineBackend):
 
     name = FASTPATH
     capabilities = BackendCapabilities(
-        requires_static_schedule=True, requires_numpy=True
+        requires_static_schedule=True,
+        requires_numpy=True,
+        supports_trace_capture=True,
     )
     priority = 30
 
@@ -239,7 +254,9 @@ class TablePathBackend(EngineBackend):
     """Isothermal table-driven closed loop (O(1) physics per frame)."""
 
     name = TABLEPATH
-    capabilities = BackendCapabilities(requires_numpy=True, supports_tables=True)
+    capabilities = BackendCapabilities(
+        requires_numpy=True, supports_tables=True, supports_trace_capture=True
+    )
     priority = 20
 
     def numpy_available(self) -> bool:
@@ -260,7 +277,10 @@ class ThermalPathBackend(EngineBackend):
 
     name = THERMALPATH
     capabilities = BackendCapabilities(
-        supports_thermal=True, requires_numpy=True, supports_tables=True
+        supports_thermal=True,
+        requires_numpy=True,
+        supports_tables=True,
+        supports_trace_capture=True,
     )
     priority = 10
 
@@ -294,6 +314,7 @@ class BatchPathBackend(EngineBackend):
         requires_numpy=True,
         supports_tables=True,
         supports_batch=True,
+        supports_trace_capture=True,
     )
     priority = -10
 
@@ -373,6 +394,25 @@ def ranked_backends() -> List[EngineBackend]:
 def capability_matrix() -> Dict[str, BackendCapabilities]:
     """``name -> capabilities`` for every registered backend (for reporting)."""
     return {entry.name: entry.capabilities for entry in ranked_backends()}
+
+
+def trace_capture_backends(request: EngineRequest) -> List[EngineBackend]:
+    """Backends eligible to replay ``request`` with full decision-trace capture.
+
+    The differential replay harness in :mod:`repro.testing.parity` runs one
+    scenario through *every* backend returned here and diffs the decision
+    traces, so the list is the probe of which (governor x backend) pairs the
+    bit-identity contract currently covers: backends must both declare
+    :attr:`BackendCapabilities.supports_trace_capture` and accept the
+    request's capabilities.  Ordered like :func:`ranked_backends`; includes
+    the reference ``scalar`` backend.
+    """
+    return [
+        entry
+        for entry in ranked_backends()
+        if entry.capabilities.supports_trace_capture
+        and entry.rejection_reason(request) is None
+    ]
 
 
 def negotiate(request: EngineRequest, engine: str = AUTO) -> EngineBackend:

@@ -1,0 +1,215 @@
+"""``repro-parity`` — the governor/engine parity gate from the shell.
+
+Usage::
+
+    repro-parity check [--goldens-dir tests/goldens] [--report report.json]
+    repro-parity record [--goldens-dir tests/goldens]
+    repro-parity fuzz --seeds 200 [--start 0] [--artifacts DIR]
+    repro-parity fuzz --seed 41  # reproduce one nightly failure locally
+
+``check`` replays every paper governor on every smoke workload through
+every eligible engine backend and diffs the decision traces against the
+committed goldens; on divergence it prints the first divergent frame with
+both sides' state and (with ``--report``) writes the full divergence
+report as JSON for CI to upload.  ``record`` deliberately re-records the
+goldens after an intended decision-trace change.  ``fuzz`` runs the
+property-based scenario sweep; failures are minimized and written (with
+``--artifacts``) as one JSON reproducer per failing seed, each naming the
+exact ``repro-parity fuzz --seed N`` command that replays it.
+
+Exit codes: 0 all checks passed, 1 divergence/property failure,
+2 usage error (e.g. missing goldens).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import ParityError, ReproError
+from repro.testing.parity.fuzz import run_fuzz
+from repro.testing.parity.goldens import (
+    DEFAULT_GOLDENS_DIR,
+    check_goldens,
+    record_goldens,
+)
+from repro.testing.parity.trace import DEFAULT_FLOAT_TOLERANCE
+
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-parity",
+        description="Differential governor/engine parity harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser(
+        "check", help="replay all backends against the committed goldens"
+    )
+    check.add_argument(
+        "--goldens-dir",
+        default=DEFAULT_GOLDENS_DIR,
+        help=f"golden trace directory (default: {DEFAULT_GOLDENS_DIR})",
+    )
+    check.add_argument(
+        "--engine",
+        action="append",
+        dest="engines",
+        metavar="NAME",
+        help="restrict to this backend (repeatable; default: all eligible)",
+    )
+    check.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the full parity report (incl. divergences) as JSON",
+    )
+    check.add_argument(
+        "--float-tolerance",
+        type=float,
+        default=DEFAULT_FLOAT_TOLERANCE,
+        help="rel/abs tolerance for float observation columns",
+    )
+
+    record = sub.add_parser(
+        "record", help="(re-)record the golden decision traces"
+    )
+    record.add_argument(
+        "--goldens-dir",
+        default=DEFAULT_GOLDENS_DIR,
+        help=f"golden trace directory (default: {DEFAULT_GOLDENS_DIR})",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz", help="property-based random-scenario parity sweep"
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        help="fuzz exactly this seed (reproduce a reported failure)",
+    )
+    fuzz.add_argument(
+        "--seeds",
+        type=int,
+        default=25,
+        help="number of consecutive seeds to fuzz (default: 25)",
+    )
+    fuzz.add_argument(
+        "--start",
+        type=int,
+        default=0,
+        help="first seed of the sweep (default: 0)",
+    )
+    fuzz.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="write one JSON reproducer per failing seed into DIR",
+    )
+    fuzz.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip shrinking failing scenarios (faster, larger reproducers)",
+    )
+    fuzz.add_argument(
+        "--float-tolerance",
+        type=float,
+        default=DEFAULT_FLOAT_TOLERANCE,
+        help="rel/abs tolerance for float observation columns",
+    )
+    return parser
+
+
+def _write_json(path: str, document: dict) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        report = check_goldens(
+            goldens_dir=args.goldens_dir,
+            engines=args.engines,
+            float_tolerance=args.float_tolerance,
+        )
+    except ParityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(report.summary())
+    if args.report:
+        _write_json(args.report, report.to_dict())
+        print(f"report written to {args.report}")
+    return EXIT_OK if report.ok else EXIT_FAILURES
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    written = record_goldens(goldens_dir=args.goldens_dir)
+    for path in written:
+        print(f"recorded {path}")
+    print(f"{len(written)} golden decision traces recorded")
+    return EXIT_OK
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.seed is not None:
+        seeds: List[int] = [args.seed]
+    else:
+        seeds = list(range(args.start, args.start + args.seeds))
+
+    def progress(seed: int, failure) -> None:
+        status = "FAIL" if failure is not None else "ok"
+        print(f"seed {seed}: {status}", flush=True)
+
+    report = run_fuzz(
+        seeds,
+        float_tolerance=args.float_tolerance,
+        minimize=not args.no_minimize,
+        progress=progress,
+    )
+    print(
+        f"{len(report.seeds)} seeds fuzzed, {len(report.failures)} failing"
+    )
+    for failure in report.failures:
+        print(f"-- seed {failure.seed} (repro-parity fuzz --seed {failure.seed})")
+        for message in failure.failures:
+            print(f"   {message}")
+    if args.artifacts:
+        os.makedirs(args.artifacts, exist_ok=True)
+        _write_json(
+            os.path.join(args.artifacts, "fuzz-report.json"), report.to_dict()
+        )
+        for failure in report.failures:
+            _write_json(
+                os.path.join(args.artifacts, f"seed-{failure.seed}.json"),
+                failure.to_dict(),
+            )
+        print(f"artifacts written to {args.artifacts}")
+    return EXIT_OK if report.ok else EXIT_FAILURES
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "check":
+            return _cmd_check(args)
+        if args.command == "record":
+            return _cmd_record(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Golden decision-trace store: record deliberately, check everywhere.
+
+Goldens live under ``tests/goldens`` as one compact JSON file per
+(workload, governor) scenario: the scenario spec (so a check rebuilds
+exactly what was recorded), the reference decision trace with its
+run-length-encoded per-frame OPP-index column, and a format version.
+
+The asymmetry is the point of the design: ``repro-parity check`` runs on
+every push and replays every eligible backend against the stored traces,
+while ``repro-parity record`` — the only way a golden changes — is a
+deliberate, reviewed act.  A governor or engine PR that silently changes a
+decision trace fails the check with the first divergent frame; if the
+change is intended, the PR re-records and the golden diff shows reviewers
+exactly which frames moved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import ScenarioSpec
+from repro.errors import ParityError
+from repro.testing.parity.harness import (
+    ParityReport,
+    run_parity,
+    smoke_parity_campaign,
+)
+from repro.testing.parity.trace import (
+    DEFAULT_FLOAT_TOLERANCE,
+    REFERENCE_ENGINE,
+    DecisionTrace,
+    capture_decision_trace,
+)
+
+#: Golden-file format version; bump on incompatible trace-encoding changes.
+GOLDEN_FORMAT = 1
+
+#: Default golden directory, relative to the repository root.
+DEFAULT_GOLDENS_DIR = os.path.join("tests", "goldens")
+
+
+def golden_path(goldens_dir: str, scenario: ScenarioSpec) -> str:
+    """The golden file recording ``scenario``'s reference trace.
+
+    Scenario labels use ``/`` as a grid separator; filenames flatten it to
+    ``--`` (``mpeg4/ondemand`` -> ``mpeg4--ondemand.json``).
+    """
+    slug = scenario.label.replace("/", "--").replace(" ", "_")
+    return os.path.join(goldens_dir, f"{slug}.json")
+
+
+def write_golden(path: str, scenario: ScenarioSpec, trace: DecisionTrace) -> None:
+    """Atomically write one golden file (write-temp + ``os.replace``)."""
+    document = {
+        "format": GOLDEN_FORMAT,
+        "scenario": scenario.to_dict(),
+        "trace": trace.to_dict(),
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+
+
+def load_golden(path: str) -> Tuple[ScenarioSpec, DecisionTrace]:
+    """Load one golden file back into its (scenario, reference trace) pair."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        raise ParityError(
+            f"no golden recorded at {path!r} — run `repro-parity record` "
+            f"to create it deliberately"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ParityError(f"golden file {path!r} is not valid JSON: {exc}") from exc
+    if document.get("format") != GOLDEN_FORMAT:
+        raise ParityError(
+            f"golden file {path!r} has format {document.get('format')!r}, "
+            f"this library reads format {GOLDEN_FORMAT} — re-record it"
+        )
+    scenario = ScenarioSpec.from_dict(document["scenario"])
+    trace = DecisionTrace.from_dict(document["trace"])
+    if trace.scenario_id != scenario.scenario_id:
+        raise ParityError(
+            f"golden file {path!r} is internally inconsistent: trace was "
+            f"recorded for scenario {trace.scenario_id}, file describes "
+            f"{scenario.scenario_id} — re-record it"
+        )
+    return scenario, trace
+
+
+def record_goldens(
+    scenarios: Optional[Sequence[ScenarioSpec]] = None,
+    goldens_dir: str = DEFAULT_GOLDENS_DIR,
+    engine: str = REFERENCE_ENGINE,
+) -> List[str]:
+    """Record (overwrite) the golden traces for ``scenarios``.
+
+    Defaults to the smoke parity matrix — every paper governor on every
+    smoke workload — traced on the ``scalar`` reference backend.  Returns
+    the written paths.
+    """
+    if scenarios is None:
+        scenarios = smoke_parity_campaign().scenarios
+    written: List[str] = []
+    for scenario in scenarios:
+        trace = capture_decision_trace(scenario, engine=engine)
+        path = golden_path(goldens_dir, scenario)
+        write_golden(path, scenario, trace)
+        written.append(path)
+    return written
+
+
+def check_goldens(
+    scenarios: Optional[Sequence[ScenarioSpec]] = None,
+    goldens_dir: str = DEFAULT_GOLDENS_DIR,
+    engines: Optional[Sequence[str]] = None,
+    float_tolerance: float = DEFAULT_FLOAT_TOLERANCE,
+) -> ParityReport:
+    """Replay every scenario on every eligible backend against its golden.
+
+    The stored golden is the comparison baseline, so the ``scalar``
+    reference itself is among the replayed backends: decision drift in the
+    *reference* loop is caught exactly like drift in a fast path.  Missing
+    goldens raise :class:`~repro.errors.ParityError` listing every absent
+    file (the check never silently narrows its matrix).
+    """
+    if scenarios is None:
+        scenarios = smoke_parity_campaign().scenarios
+    references: Dict[str, DecisionTrace] = {}
+    checked: List[ScenarioSpec] = []
+    missing: List[str] = []
+    for scenario in scenarios:
+        path = golden_path(goldens_dir, scenario)
+        if not os.path.exists(path):
+            missing.append(path)
+            continue
+        golden_scenario, trace = load_golden(path)
+        if golden_scenario.scenario_id != scenario.scenario_id:
+            raise ParityError(
+                f"golden file {path!r} records scenario "
+                f"{golden_scenario.scenario_id} but the live matrix expects "
+                f"{scenario.scenario_id}: the smoke scenario definition "
+                f"changed — re-record the goldens"
+            )
+        references[scenario.label] = trace
+        checked.append(scenario)
+    if missing:
+        raise ParityError(
+            "missing golden decision traces (run `repro-parity record`): "
+            + ", ".join(missing)
+        )
+    return run_parity(
+        checked,
+        engines=engines,
+        float_tolerance=float_tolerance,
+        reference_traces=references,
+    )

@@ -67,7 +67,13 @@ class TestRegistry:
 
     def test_capability_matrix(self):
         matrix = capability_matrix()
-        assert matrix["scalar"] == BackendCapabilities(supports_thermal=True)
+        assert matrix["scalar"] == BackendCapabilities(
+            supports_thermal=True, supports_trace_capture=True
+        )
+        assert all(
+            capabilities.supports_trace_capture
+            for capabilities in matrix.values()
+        )
         assert matrix["fastpath"].requires_static_schedule
         assert not matrix["fastpath"].supports_thermal
         assert matrix["tablepath"].supports_tables

@@ -1,0 +1,179 @@
+"""Tests for the property-based scenario fuzzer and its minimizer."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import ScenarioSpec
+from repro.testing.parity import (
+    fuzz_seed,
+    generate_scenario,
+    minimize_scenario,
+    run_fuzz,
+)
+from repro.testing.parity.fuzz import _shrink_candidates
+
+
+class TestGenerateScenario:
+    def test_deterministic_per_seed(self):
+        assert generate_scenario(42) == generate_scenario(42)
+        assert generate_scenario(42).scenario_id == generate_scenario(42).scenario_id
+
+    def test_distinct_seeds_distinct_scenarios(self):
+        ids = {generate_scenario(seed).scenario_id for seed in range(20)}
+        assert len(ids) == 20
+
+    def test_scenarios_are_pure_campaign_data(self):
+        for seed in range(10):
+            spec = generate_scenario(seed)
+            encoded = json.dumps(spec.to_dict(), sort_keys=True)
+            assert ScenarioSpec.from_dict(json.loads(encoded)) == spec
+
+    def test_userspace_pins_stay_inside_the_table(self):
+        for seed in range(200):
+            spec = generate_scenario(seed)
+            if spec.governor.name != "userspace":
+                continue
+            pin = dict(spec.governor.params)["index"]
+            bound = dict(spec.cluster.params)["opp_count"]
+            assert 0 <= pin < bound
+
+
+class TestFuzzSeed:
+    def test_smoke_seeds_are_clean(self):
+        for seed in range(5):
+            failure = fuzz_seed(seed)
+            assert failure is None, failure.failures
+
+    def test_failure_object_reproduces_from_seed_alone(self):
+        # Any seed's scenario must be rebuildable from the seed number.
+        assert generate_scenario(7) == generate_scenario(7)
+        report = run_fuzz([7])
+        assert report.seeds == [7]
+
+
+class TestRunFuzz:
+    def test_sweep_reports_seed_range(self):
+        report = run_fuzz(range(3))
+        assert report.ok
+        assert report.to_dict()["seeds_run"] == 3
+        assert report.to_dict()["first_seed"] == 0
+        assert report.to_dict()["last_seed"] == 2
+
+    def test_progress_callback_fires_per_seed(self):
+        seen = []
+        run_fuzz(range(3), progress=lambda seed, failure: seen.append(seed))
+        assert seen == [0, 1, 2]
+
+
+class TestMinimizer:
+    def test_shrink_candidates_simplify(self):
+        spec = generate_scenario(0)
+        for candidate in _shrink_candidates(spec):
+            assert isinstance(candidate, ScenarioSpec)
+            app = dict(candidate.application.params)
+            assert app["num_frames"] >= 4
+
+    def test_minimizer_shrinks_under_a_failing_predicate(self):
+        spec = generate_scenario(0)
+        original_frames = dict(spec.application.params)["num_frames"]
+
+        # Pretend every candidate still fails: the minimizer should walk all
+        # the way down to the floor of each shrink dimension.
+        minimal = minimize_scenario(spec, still_fails=lambda candidate: True)
+        app = dict(minimal.application.params)
+        cluster = dict(minimal.cluster.params)
+        assert app["num_frames"] == 4 < original_frames
+        assert cluster["opp_count"] == 2
+        assert cluster["num_cores"] == 1
+        assert cluster["enable_thermal"] is False
+        assert app["jitter"] == 0.0
+        assert app["spike_probability"] == 0.0
+
+    def test_minimizer_keeps_scenario_when_nothing_fails(self):
+        spec = generate_scenario(0)
+        assert minimize_scenario(spec, still_fails=lambda candidate: False) == spec
+
+    def test_minimizer_respects_a_real_predicate(self):
+        # Fail only while the scenario still has more than 20 frames: the
+        # minimizer must stop at the largest candidate <= 20 frames' parent,
+        # i.e. return a scenario that still fails.
+        spec = generate_scenario(1)
+
+        def still_fails(candidate):
+            return dict(candidate.application.params)["num_frames"] > 20
+
+        minimal = minimize_scenario(spec, still_fails=still_fails)
+        assert dict(minimal.application.params)["num_frames"] > 20
+
+    def test_minimizer_clamps_userspace_pin(self):
+        spec = None
+        for seed in range(300):
+            candidate = generate_scenario(seed)
+            if (
+                candidate.governor.name == "userspace"
+                and dict(candidate.cluster.params)["opp_count"] > 2
+            ):
+                spec = candidate
+                break
+        assert spec is not None, "no userspace scenario among 300 seeds"
+        minimal = minimize_scenario(spec, still_fails=lambda candidate: True)
+        pin = dict(minimal.governor.params)["index"]
+        assert 0 <= pin < dict(minimal.cluster.params)["opp_count"]
+
+
+class TestFuzzCli:
+    def test_fuzz_cli_exit_zero_on_clean_seeds(self, capsys):
+        from repro.testing.parity.cli import main
+
+        code = main(["fuzz", "--seeds", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 seeds fuzzed, 0 failing" in out
+
+    def test_fuzz_cli_single_seed(self, capsys):
+        from repro.testing.parity.cli import main
+
+        assert main(["fuzz", "--seed", "41"]) == 0
+        assert "seed 41: ok" in capsys.readouterr().out
+
+    def test_fuzz_cli_writes_artifacts_dir(self, tmp_path):
+        from repro.testing.parity.cli import main
+
+        artifacts = tmp_path / "artifacts"
+        assert main(["fuzz", "--seeds", "2", "--artifacts", str(artifacts)]) == 0
+        report = json.loads((artifacts / "fuzz-report.json").read_text())
+        assert report["ok"] is True
+        assert report["seeds_run"] == 2
+
+
+class TestFuzzFactories:
+    def test_fuzz_factories_registered_on_import(self):
+        from repro.campaign import registry
+
+        names = registry.registered_names()
+        assert "fuzz-trace" in names["applications"]
+        assert "fuzz-cluster" in names["clusters"]
+        assert "fuzz-ondemand" in names["governors"]
+        assert "fuzz-conservative" in names["governors"]
+
+    def test_fuzz_workload_deterministic(self):
+        from repro.campaign import registry
+
+        factory = registry.application_factory("fuzz-trace")
+        first = factory(num_frames=10, seed=3)
+        second = factory(num_frames=10, seed=3)
+        assert [f.total_cycles for f in first.frames] == [
+            f.total_cycles for f in second.frames
+        ]
+
+    def test_fuzz_cluster_builds_requested_table(self):
+        from repro.campaign import registry
+
+        cluster = registry.cluster_factory("fuzz-cluster")(
+            num_cores=2, opp_count=5, f_min_mhz=200.0, f_max_mhz=1000.0
+        )
+        assert cluster.num_cores == 2
+        assert len(cluster.vf_table) == 5
+        assert cluster.vf_table.points[0].frequency_hz == pytest.approx(200e6)
+        assert cluster.vf_table.points[-1].frequency_hz == pytest.approx(1000e6)
