@@ -39,10 +39,22 @@ GATED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("thermal_closed_loop", "thermal_frames_per_s"),
     ("thermal_closed_loop", "cold_thermal_frames_per_s"),
     ("thermal_closed_loop", "scalar_frames_per_s"),
+    ("jit_closed_loop", "jit_frames_per_s"),
+    ("jit_closed_loop", "baseline_frames_per_s"),
     ("tier1_power_cache", "cached_frames_per_s"),
     ("batched_grid", "batched_frames_per_s"),
     ("batched_grid", "per_scenario_frames_per_s"),
 )
+
+
+def _section_skipped(results: Dict, section: str) -> bool:
+    """A section deliberately recorded empty with a ``<section>_note``.
+
+    The jit section is skipped-with-a-note on runners without numba; a
+    noted skip in the *current* results must not count baseline scenarios
+    as missing (an optional backend's absence is not a regression).
+    """
+    return not results.get(section) and bool(results.get(f"{section}_note"))
 
 
 def _rows_by_scenario(results: Dict, section: str) -> Dict[str, Dict]:
@@ -57,6 +69,8 @@ def compare(current: Dict, baseline: Dict, tolerance: float) -> List[str]:
     """
     failures: List[str] = []
     for section, metric in GATED_METRICS:
+        if _section_skipped(current, section):
+            continue
         current_rows = _rows_by_scenario(current, section)
         for scenario, base_row in _rows_by_scenario(baseline, section).items():
             base_value = float(base_row[metric])
@@ -79,7 +93,15 @@ def compare(current: Dict, baseline: Dict, tolerance: float) -> List[str]:
 def summarize(current: Dict, baseline: Dict) -> List[str]:
     """Human-readable current/baseline ratio per gated scenario metric."""
     lines: List[str] = []
+    skipped_noted = set()
     for section, metric in GATED_METRICS:
+        if _section_skipped(current, section):
+            if section not in skipped_noted:
+                skipped_noted.add(section)
+                lines.append(
+                    f"  {section}: SKIPPED ({current.get(f'{section}_note')})"
+                )
+            continue
         current_rows = _rows_by_scenario(current, section)
         for scenario, base_row in _rows_by_scenario(baseline, section).items():
             row = current_rows.get(scenario)

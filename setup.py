@@ -22,6 +22,11 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
+    extras_require={
+        # Optional compiled closed-loop kernels (repro.sim.jitpath).  Without
+        # numba the backend simply drops out of engine negotiation.
+        "jit": ["numba>=0.59"],
+    },
     entry_points={
         "console_scripts": [
             "repro-campaign=repro.campaign.cli:main",

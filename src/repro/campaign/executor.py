@@ -38,7 +38,7 @@ from repro.campaign.spec import CampaignSpec, ScenarioSpec
 from repro.platform.cluster import ThermalWorkloadTable, WorkloadTable
 from repro.rtm.governor import Governor
 from repro.sim import backends as engine_backends
-from repro.sim import batchpath, tablepath, thermalpath
+from repro.sim import batchpath, jitpath, tablepath, thermalpath
 from repro.sim.engine import SimulationEngine
 
 #: Optional per-scenario completion callback (label, index, total).
@@ -450,8 +450,19 @@ def _governor_is_closed_loop(scenario: ScenarioSpec) -> bool:
 
 
 def _batchable(scenario: ScenarioSpec) -> bool:
-    """Whether the batch planner may route ``scenario`` to ``batchpath``."""
-    if scenario.engine not in ("auto", engine_backends.BATCHPATH):
+    """Whether the batch planner may group ``scenario`` into a batched unit.
+
+    ``auto`` and explicit ``batchpath`` pins go to the batched engine;
+    explicit ``jitpath`` pins are grouped too (the compiled kernels run
+    batches member-by-member — no lock-step needed once the frame loop is
+    compiled) but only when the compiled path is actually available, so a
+    numba-less worker reports the pin mismatch through engine negotiation
+    rather than a mid-batch failure.
+    """
+    if scenario.engine == engine_backends.JITPATH:
+        if not jitpath.available():
+            return False
+    elif scenario.engine not in ("auto", engine_backends.BATCHPATH):
         return False
     if not scenario.config.prefer_fast_path:
         return False
@@ -489,6 +500,11 @@ def plan_batches(
                 scenario.seed,
                 scenario.cluster,
                 scenario.config,
+                # jitpath-pinned scenarios form their own groups: the unit's
+                # dispatch engine is decided by its first member.  Constant
+                # False for auto/batchpath scenarios, so pre-existing
+                # campaigns group (and checkpoint) exactly as before.
+                scenario.engine == engine_backends.JITPATH,
             )
             groups.setdefault(key, []).append((index, scenario))
         else:
@@ -531,17 +547,27 @@ def run_scenario_batch(scenarios: Sequence[ScenarioSpec]) -> List[ScenarioOutcom
 
     provider = _cached_table_provider(first)
     tables = provider(members[0][0], application, first.config)
-    results = batchpath.run_batch(
-        members,
-        application,
-        first.config,
-        tables=tables,
-        scalar_cutoffs=batchpath.DEFAULT_SCALAR_CUTOFFS,
-    )
+    if first.engine == engine_backends.JITPATH:
+        engine_used = engine_backends.JITPATH
+        results = jitpath.run_batch(
+            members,
+            application,
+            first.config,
+            tables=tables,
+        )
+    else:
+        engine_used = engine_backends.BATCHPATH
+        results = batchpath.run_batch(
+            members,
+            application,
+            first.config,
+            tables=tables,
+            scalar_cutoffs=batchpath.DEFAULT_SCALAR_CUTOFFS,
+        )
 
     outcomes = []
     for scenario, result, (cluster, governor) in zip(scenarios, results, members):
-        result.engine_used = engine_backends.BATCHPATH
+        result.engine_used = engine_used
         probe_data = None
         if scenario.probe is not None:
             probe = registry.probe_factory(scenario.probe.name)

@@ -15,11 +15,16 @@ Built-in backends, in negotiation order (highest priority first):
 name        thermal  static schedule  tables numpy batch module
 =========== ======== ================ ====== ===== ===== ===========================
 fastpath    no       required         no     yes   no    :mod:`repro.sim.fastpath`
+jitpath     yes      no               yes    yes   yes   :mod:`repro.sim.jitpath`
 tablepath   no       no               yes    yes   no    :mod:`repro.sim.tablepath`
 thermalpath yes      no               yes    yes   no    :mod:`repro.sim.thermalpath`
 scalar      yes      no               no     no    no    :mod:`repro.sim.scalarpath`
 batchpath   yes      no               yes    yes   yes   :mod:`repro.sim.batchpath`
 =========== ======== ================ ====== ===== ===== ===========================
+
+``jitpath`` only negotiates when numba is importable (the ``jit`` packaging
+extra) and the ``REPRO_DISABLE_JIT`` kill-switch is unset; without numba the
+registry behaves exactly as if the backend did not exist.
 
 ``scalar`` is the reference implementation every other backend is
 validated against; it accepts every request.  ``auto`` negotiation walks
@@ -36,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import SimulationError
-from repro.sim import batchpath, fastpath, scalarpath, tablepath, thermalpath
+from repro.sim import batchpath, fastpath, jitpath, scalarpath, tablepath, thermalpath
 from repro.sim.results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: ``SimulationConfig.prefer_fast_path=False`` switch).
 SCALAR = "scalar"
 FASTPATH = "fastpath"
+JITPATH = "jitpath"
 TABLEPATH = "tablepath"
 THERMALPATH = "thermalpath"
 BATCHPATH = "batchpath"
@@ -250,6 +256,54 @@ class FastPathBackend(EngineBackend):
         )
 
 
+class JitPathBackend(EngineBackend):
+    """Compiled (numba) closed-loop kernels over precomputed physics tables.
+
+    Out-prioritises ``tablepath``/``thermalpath`` so ``auto`` negotiation
+    takes the compiled frame loop whenever numba is importable and the
+    request is one the kernels replicate bit for bit: exactly the three
+    paper governors (ondemand, conservative, RL — subclasses fall through,
+    since they may override hooks the kernel inlines), noiseless
+    non-recording sensors, and exact-mode thermal leakage.  Everything else
+    — and every run on a machine without numba, or with the
+    ``REPRO_DISABLE_JIT`` kill-switch set — negotiates exactly as if this
+    backend did not exist.
+    """
+
+    name = JITPATH
+    capabilities = BackendCapabilities(
+        supports_thermal=True,
+        requires_numpy=True,
+        supports_tables=True,
+        supports_batch=True,
+        supports_trace_capture=True,
+    )
+    priority = 25
+
+    def numpy_available(self) -> bool:
+        return jitpath._np is not None
+
+    def rejection_reason(self, request: EngineRequest) -> Optional[str]:
+        reason = super().rejection_reason(request)
+        if reason is not None:
+            return reason
+        if not jitpath.available():
+            return (
+                "the compiled kernel path is unavailable "
+                "(numba not importable, or REPRO_DISABLE_JIT set)"
+            )
+        return jitpath.unsupported_reason(request.cluster, request.governor)
+
+    def run(self, request: EngineRequest) -> SimulationResult:
+        return jitpath.simulate_closed_loop(
+            request.cluster,
+            request.application,
+            request.governor,
+            request.config,
+            tables=request.tables(),
+        )
+
+
 class TablePathBackend(EngineBackend):
     """Isothermal table-driven closed loop (O(1) physics per frame)."""
 
@@ -448,6 +502,7 @@ def negotiate(request: EngineRequest, engine: str = AUTO) -> EngineBackend:
 
 
 register_backend(FastPathBackend())
+register_backend(JitPathBackend())
 register_backend(TablePathBackend())
 register_backend(ThermalPathBackend())
 register_backend(ScalarBackend())

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import _compat
 from repro.platform.cluster import Cluster
 from repro.platform.core import Core
 from repro.platform.odroid_xu3 import A15_VF_TABLE, build_a15_cluster
@@ -13,6 +14,22 @@ from repro.workload.application import Application, PerformanceRequirement
 from repro.workload.task import Frame
 from repro.workload.video import h264_football_application, mpeg4_application
 from repro.workload.fft import fft_application
+
+
+@pytest.fixture(autouse=True)
+def _numba_less_negotiation(monkeypatch):
+    """Pin engine negotiation to the numba-less default for every test.
+
+    The tier-1 suite asserts *which* backend auto-negotiation selects
+    (tablepath/thermalpath/...), and those expectations must not flip when
+    the optional ``jit`` extra happens to be installed (the CI ``jit`` job
+    runs this same suite with numba present).  Tests that exercise the
+    compiled backend — :mod:`tests.test_jitpath` — opt back in by
+    monkeypatching ``HAVE_NUMBA = True`` after this fixture, which also
+    makes them runnable on numba-less machines (interpreted kernels are
+    bit-identical by construction).
+    """
+    monkeypatch.setattr(_compat, "HAVE_NUMBA", False)
 
 
 @pytest.fixture

@@ -59,6 +59,7 @@ class TestRegistry:
     def test_builtin_backends_in_priority_order(self):
         assert backend_names() == [
             "fastpath",
+            "jitpath",
             "tablepath",
             "thermalpath",
             "scalar",
@@ -82,11 +83,14 @@ class TestRegistry:
         assert matrix["thermalpath"].supports_tables
         assert matrix["batchpath"].supports_batch
         assert matrix["batchpath"].supports_thermal
+        assert matrix["jitpath"].supports_thermal
+        assert matrix["jitpath"].supports_tables
+        assert matrix["jitpath"].supports_batch
         assert matrix["batchpath"].supports_tables
         assert not any(
             capabilities.supports_batch
             for name, capabilities in matrix.items()
-            if name != "batchpath"
+            if name not in ("batchpath", "jitpath")
         )
 
     def test_unknown_backend_rejected_with_names(self):
