@@ -9,7 +9,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.sim.comparison import ComparisonRow
-from repro.sim.metrics import summarize_result
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard (campaign -> analysis)
     from repro.campaign.results import CampaignResult
@@ -76,9 +75,11 @@ def format_campaign_summary(
     for outcome in store:
         if outcome.ok and outcome.result is not None:
             result = outcome.result
-            # Columnar summary: one array reduction per metric instead of a
-            # Python loop over (possibly lazily materialised) records.
-            summary = summarize_result(result)
+            # Summaries without materialising per-frame records: the
+            # metrics cached by the columnar store when present (no frame
+            # access at all — a lazily loaded store stays on metadata),
+            # one array reduction per metric otherwise.
+            summary = outcome.metrics_summary()
             normalized_performance = (
                 summary.average_frame_time_s / result.reference_time_s
             )

@@ -7,6 +7,7 @@ Usage::
     repro-campaign spec.json --checkpoint ckpt.json --checkpoint-every 5 --retries 2
     repro-campaign spec.json --shard 0/2 --output shard0.json
     repro-campaign spec.json --engine scalar --output reference.json
+    repro-campaign spec.json --store arrow --checkpoint ckpt.bin --output results.bin
     repro-campaign merge shard0.json shard1.json --spec spec.json --output merged.json
     repro-campaign serve spec.json --port 8765 --journal journal.json --output results.json
     repro-campaign work --coordinator http://127.0.0.1:8765
@@ -21,9 +22,15 @@ campaign resumes from its last checkpoint instead of starting over (an
 existing checkpoint file is picked up automatically; a truncated or
 corrupt one is quarantined with a warning instead of aborting the run).
 ``--shard I/N`` runs the deterministic 1/N slice of the campaign; the
-``merge`` subcommand unions shard result files back into the store an
-unsharded run would produce (pass ``--spec`` to verify completeness and
-restore campaign order).
+``merge`` subcommand streams shard result files back into the store an
+unsharded run would produce — never holding more than one shard's batch
+in memory (pass ``--spec`` to verify completeness and restore campaign
+order).  ``--store`` picks the on-disk format (see
+:mod:`repro.campaign.store`): ``json`` is the legacy monolithic document,
+``arrow`` the columnar append-only store, ``auto`` (the default) uses
+columnar when pyarrow is installed and json otherwise.  With a columnar
+store, ``--checkpoint`` appends each outcome in O(1) instead of rewriting
+the whole store every ``--checkpoint-every`` completions.
 
 ``serve`` starts the fault-tolerant coordinator of
 :mod:`repro.campaign.service`: scenarios are handed to ``work`` sites as
@@ -51,6 +58,7 @@ from repro.campaign.executor import (
     table_cache_stats,
 )
 from repro.errors import ConfigurationError, ReproError
+from repro.campaign import store as result_store
 from repro.campaign.registry import registered_names
 from repro.campaign.results import CampaignResult
 from repro.campaign.service import (
@@ -198,6 +206,15 @@ def _run_main(argv: Sequence[str]) -> int:
         "(default 16; 0 disables the batch planner)",
     )
     parser.add_argument(
+        "--store",
+        choices=result_store.STORE_CHOICES,
+        default=result_store.STORE_AUTO,
+        help="result/checkpoint file format: 'json' is the legacy "
+        "monolithic blob, 'arrow' the append-only columnar store "
+        "(jsonl-encoded when pyarrow is missing), 'auto' negotiates "
+        "arrow when available and falls back to json (default)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list registered factories and exit"
     )
     parser.add_argument(
@@ -243,6 +260,7 @@ def _run_main(argv: Sequence[str]) -> int:
                 timeout_s=arguments.timeout,
             ),
             batch_size=arguments.batch_size,
+            store=arguments.store,
         )
     except ConfigurationError as exc:
         print(f"repro-campaign: {exc}", file=sys.stderr)
@@ -267,7 +285,7 @@ def _run_main(argv: Sequence[str]) -> int:
         # partial store to --output so the run can be resumed from it.
         print(f"repro-campaign: {interrupted}", file=sys.stderr)
         if interrupted.checkpoint_path is None and arguments.output:
-            interrupted.partial.save(arguments.output)
+            interrupted.partial.save(arguments.output, store=arguments.store)
             print(
                 f"repro-campaign: partial results saved to {arguments.output}",
                 file=sys.stderr,
@@ -281,7 +299,7 @@ def _run_main(argv: Sequence[str]) -> int:
     # Persist before printing: a broken stdout pipe (e.g. `| head`) must not
     # lose the results of a long campaign.
     if arguments.output:
-        store.save(arguments.output)
+        store.save(arguments.output, store=arguments.store)
     # The table cache lives per process: only the serial backend's counters
     # describe this run (process-pool workers each kept their own).
     cache_stats = table_cache_stats() if arguments.backend == "serial" else None
@@ -295,11 +313,14 @@ def _run_main(argv: Sequence[str]) -> int:
 def _merge_main(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-campaign merge",
-        description="Union shard result files by scenario id (conflict = error).",
+        description="Streaming union of shard result files by scenario id "
+        "(conflict = error); never holds more than one shard in memory.",
     )
-    parser.add_argument("stores", nargs="+", help="shard result JSON files to merge")
     parser.add_argument(
-        "--output", required=True, help="write the merged store to this JSON file"
+        "stores", nargs="+", help="shard result files to merge (either format)"
+    )
+    parser.add_argument(
+        "--output", required=True, help="write the merged store to this file"
     )
     parser.add_argument(
         "--spec",
@@ -309,30 +330,36 @@ def _merge_main(argv: Sequence[str]) -> int:
         "unsharded run)",
     )
     parser.add_argument(
+        "--store",
+        choices=result_store.STORE_CHOICES,
+        default=result_store.STORE_AUTO,
+        help="output format (input formats are auto-detected per shard)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the merged-store summary"
     )
     arguments = parser.parse_args(argv)
 
     try:
-        stores = [CampaignResult.load(path) for path in arguments.stores]
-    except LOAD_ERRORS as exc:
-        print(f"repro-campaign merge: cannot load result store: {exc}", file=sys.stderr)
-        return EXIT_USAGE
-    try:
-        merged = CampaignResult.merge(stores)
-        if arguments.spec:
-            campaign = CampaignSpec.load(arguments.spec)
-            merged = merged.ordered_for(campaign)
+        campaign = CampaignSpec.load(arguments.spec) if arguments.spec else None
+        stats = result_store.merge_store_files(
+            arguments.stores,
+            arguments.output,
+            spec=campaign,
+            store=arguments.store,
+        )
     except (ReproError,) + LOAD_ERRORS as exc:
         print(f"repro-campaign merge: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    merged.save(arguments.output)
+    # Lazy reload for the summary + exit code: columnar outputs answer
+    # from cached metrics without touching any frames.
+    merged = CampaignResult.load(arguments.output, lazy=True)
     if not arguments.quiet:
         print(format_campaign_summary(merged))
     print(
-        f"merged {len(arguments.stores)} store(s), {len(merged)} scenarios "
-        f"-> {arguments.output}"
+        f"merged {stats.stores} store(s), {stats.scenarios} scenarios "
+        f"({stats.duplicates} duplicate(s)) -> {arguments.output}"
     )
     return EXIT_FAILED_SCENARIOS if merged.failed() else 0
 
@@ -356,8 +383,10 @@ def _serve_main(argv: Sequence[str]) -> int:
     parser.add_argument(
         "--journal",
         default=None,
-        help="atomically journal every state transition to this JSON file; an "
-        "existing journal is resumed from (a corrupt one is quarantined)",
+        help="journal every state transition to this file; an existing "
+        "journal is resumed from (a corrupt one is quarantined). With a "
+        "columnar --store, outcomes append to <journal>.outcomes in O(1) "
+        "per completion instead of rewriting the whole journal",
     )
     parser.add_argument(
         "--resume",
@@ -399,6 +428,14 @@ def _serve_main(argv: Sequence[str]) -> int:
         "(default 0 = only at the end)",
     )
     parser.add_argument(
+        "--store",
+        choices=result_store.STORE_CHOICES,
+        default=result_store.STORE_AUTO,
+        help="format for the journal and --output results: json (legacy "
+        "monolithic), arrow (columnar, needs pyarrow), or auto (columnar "
+        "when available)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-transition progress lines"
     )
     arguments = parser.parse_args(argv)
@@ -417,6 +454,7 @@ def _serve_main(argv: Sequence[str]) -> int:
             ),
             lease_timeout_s=arguments.lease_timeout,
             journal_path=arguments.journal,
+            journal_store=arguments.store,
             resume=resume,
         )
     except (ReproError,) + LOAD_ERRORS as exc:
@@ -462,10 +500,11 @@ def _serve_main(argv: Sequence[str]) -> int:
         return EXIT_INTERRUPTED
     finally:
         server.stop()
+        coordinator.close_journal()
 
     store = coordinator.result()
     if arguments.output:
-        store.save(arguments.output)
+        store.save(arguments.output, store=arguments.store)
     print(format_campaign_summary(store))
     if arguments.output:
         print(f"results written to {arguments.output}")

@@ -33,6 +33,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReproError, ScenarioTimeoutError
 from repro.campaign import registry
+from repro.campaign import store as result_store
 from repro.campaign.results import CampaignResult, ScenarioOutcome
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
 from repro.platform.cluster import ThermalWorkloadTable, WorkloadTable
@@ -711,12 +712,15 @@ class CampaignExecutor:
         max_workers: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         batch_size: int = 0,
+        store: str = result_store.STORE_AUTO,
     ) -> None:
         if batch_size < 0:
             raise ConfigurationError(f"batch_size must be >= 0, got {batch_size}")
         self.backend = make_backend(backend, max_workers)
         self.retry = retry or RetryPolicy()
         self.batch_size = batch_size
+        result_store.negotiate_store(store)  # reject unknown names up front
+        self.store_format = store
 
     def run(
         self,
@@ -740,16 +744,18 @@ class CampaignExecutor:
             Optional callback invoked after each newly executed scenario
             with ``(label, completed_count, total_pending)``.
         checkpoint_path:
-            When given, the (partial) store is atomically rewritten to this
-            path every ``checkpoint_every`` completions, once more on
+            When given, completed work is persisted to this path as the
+            campaign runs.  With the legacy ``json`` store the whole file
+            is atomically rewritten every ``checkpoint_every``
+            completions; with the columnar store each outcome is
+            *appended* as it completes (O(1) per scenario, never
+            O(campaign)) and ``checkpoint_every`` only sets the flush
+            cadence.  Either way the file is written once more on
             ``KeyboardInterrupt`` (which is re-raised as
-            :class:`CampaignInterrupted` carrying the partial store), and a
-            final time with the completed, campaign-ordered store.
+            :class:`CampaignInterrupted` carrying the partial store), and
+            a final time with the completed, campaign-ordered store.
         checkpoint_every:
-            Completion interval between checkpoint writes (>= 1).  Each
-            write re-serializes the whole store, so very small intervals
-            on large campaigns trade meaningful I/O for crash-window size
-            (the default rewrites every 10 completions).
+            Completions between checkpoint writes/flushes (>= 1).
 
         Returns
         -------
@@ -768,27 +774,49 @@ class CampaignExecutor:
                 store.add(outcome)
         pending: List[ScenarioSpec] = store.pending(campaign)
         units = plan_batches(pending, self.batch_size)
+        resolved = result_store.negotiate_store(self.store_format)
+        writer: Optional[result_store.StoreWriter] = None
+        if checkpoint_path is not None and resolved != result_store.STORE_JSON:
+            # Seed the columnar checkpoint once (atomic rewrite of the
+            # resume state), then append each completion in O(1).
+            result_store.save_store(store, checkpoint_path, resolved)
+            writer = result_store.StoreWriter.open_append(checkpoint_path)
         completed = 0
         try:
             for _, outcome in self.backend.run_units(units, self.retry):
                 store.add(outcome)
+                if writer is not None:
+                    writer.append(outcome)
                 completed += 1
                 if progress is not None:
                     progress(outcome.label, completed, len(pending))
                 if checkpoint_path is not None and completed % checkpoint_every == 0:
-                    store.save(checkpoint_path)
+                    if writer is not None:
+                        writer.flush()
+                    else:
+                        store.save(checkpoint_path)
         except BaseException as exc:
             # Emergency checkpoint: whatever killed the run — Ctrl-C, a
             # broken worker pool, a crashing progress callback — the work
-            # completed since the last periodic write must survive.
+            # completed since the last periodic write must survive.  The
+            # columnar writer already holds every completion; closing it
+            # flushes the tail appends to disk.
             if checkpoint_path is not None:
-                store.save(checkpoint_path)
+                if writer is not None:
+                    writer.close()
+                    writer = None
+                else:
+                    store.save(checkpoint_path)
             if isinstance(exc, KeyboardInterrupt):
                 raise CampaignInterrupted(campaign, store, checkpoint_path) from exc
             raise
+        if writer is not None:
+            writer.close()
         ordered = store.ordered_for(campaign)
         if checkpoint_path is not None:
-            ordered.save(checkpoint_path)
+            # Final atomic rewrite in campaign order (both formats), so
+            # the surviving checkpoint equals --output bit for bit.
+            ordered.save(checkpoint_path, store=self.store_format)
         return ordered
 
 
@@ -801,10 +829,15 @@ def run_campaign(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 10,
     batch_size: int = 0,
+    store: str = result_store.STORE_AUTO,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignExecutor`."""
     return CampaignExecutor(
-        backend=backend, max_workers=max_workers, retry=retry, batch_size=batch_size
+        backend=backend,
+        max_workers=max_workers,
+        retry=retry,
+        batch_size=batch_size,
+        store=store,
     ).run(
         campaign,
         resume=resume,

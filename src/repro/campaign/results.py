@@ -28,11 +28,14 @@ import json
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
 from repro.sim.results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (results -> metrics)
+    from repro.sim.metrics import MetricsSummary
 
 #: Status of a scenario that ran to completion and has a simulation result.
 STATUS_DONE = "done"
@@ -99,6 +102,13 @@ class ScenarioOutcome:
     attempts:
         How many executions the scenario consumed (> 1 when a retry policy
         re-ran it).
+    metrics:
+        Optional cached :class:`~repro.sim.metrics.MetricsSummary` as a
+        plain dict.  Stamped by the columnar store
+        (:mod:`repro.campaign.store`) so summary queries never touch the
+        frames; it is a derived cache — excluded from equality and from
+        the :meth:`to_dict` wire format, which stays byte-identical to
+        the pre-store JSON.
     """
 
     scenario: ScenarioSpec
@@ -108,6 +118,7 @@ class ScenarioOutcome:
     error: Optional[str] = None
     traceback: Optional[str] = None
     attempts: int = 1
+    metrics: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.status not in (STATUS_DONE, STATUS_FAILED):
@@ -150,6 +161,26 @@ class ScenarioOutcome:
     def label(self) -> str:
         """The scenario's campaign label."""
         return self.scenario.label
+
+    def metrics_summary(self) -> Optional["MetricsSummary"]:
+        """The outcome's aggregate metrics, without materialising records.
+
+        Prefers the cached :attr:`metrics` dict (stamped by the columnar
+        store at write time — answering from it never touches the frames,
+        which for a lazily loaded store means no disk read at all) and
+        falls back to :func:`~repro.sim.metrics.summarize_result`'s
+        columnar reductions.  ``None`` for failed outcomes.
+        """
+        if self.result is None:
+            return None
+        from repro.sim.metrics import MetricsSummary, summarize_result
+
+        if self.metrics is not None:
+            try:
+                return MetricsSummary(**self.metrics)
+            except TypeError:
+                pass  # unknown cache shape: recompute from the frames
+        return summarize_result(self.result)
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -364,20 +395,44 @@ class CampaignResult:
     def from_json(cls, text: str) -> "CampaignResult":
         return cls.from_dict(json.loads(text))
 
-    def save(self, path: str) -> None:
-        """Atomically write the store as JSON (write-temp + ``os.replace``).
+    def save(self, path: str, store: str = "json") -> None:
+        """Atomically write the store (write-temp + ``os.replace``).
 
-        The executor checkpoints through this method every few scenario
-        completions; the rename guarantees a reader (or a crash) never sees
-        a half-written store.
+        ``store`` picks the on-disk format through
+        :func:`repro.campaign.store.negotiate_store`: the default
+        ``"json"`` keeps the legacy monolithic blob byte-identical to
+        every earlier release; ``"arrow"`` (or ``"auto"`` on an install
+        with pyarrow) writes the columnar store instead.  Whatever the
+        format, the rename guarantees a reader (or a crash) never sees a
+        half-written store.
         """
+        from repro.campaign import store as result_store
+
+        resolved = result_store.negotiate_store(store)
+        if resolved != result_store.STORE_JSON:
+            result_store.save_store(self, path, resolved)
+            return
         temp_path = f"{path}.tmp"
         with open(temp_path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
         os.replace(temp_path, path)
 
     @classmethod
-    def load(cls, path: str) -> "CampaignResult":
+    def load(cls, path: str, lazy: bool = False) -> "CampaignResult":
+        """Load a result store of either format (auto-detected by content).
+
+        ``lazy`` applies to columnar store files: outcomes come back with
+        disk-backed deferred frame columns and their cached metrics, so a
+        million-scenario store can be summarised without holding any
+        per-frame data in memory (first access to a result's columns
+        re-reads just that record from disk).  Monolithic JSON files are
+        parsed whole regardless — laziness is a property the columnar
+        layout provides.
+        """
+        from repro.campaign import store as result_store
+
+        if result_store.is_store_file(path):
+            return result_store.load_store(path, lazy=lazy)
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_json(handle.read())
 
@@ -392,7 +447,15 @@ class CampaignResult:
         of dying on a ``JSONDecodeError``.  Completed work checkpointed
         *before* the corruption was introduced is only lost in that rare
         quarantine case; the atomic save path makes it rarer still.
+        Columnar checkpoints do one better: records are independent, so
+        the valid prefix of a torn file is salvaged before the file is
+        quarantined (see
+        :func:`repro.campaign.store.load_store_checkpoint`).
         """
+        from repro.campaign import store as result_store
+
+        if result_store.is_store_file(path):
+            return result_store.load_store_checkpoint(path)
         try:
             return cls.load(path)
         except FileNotFoundError:

@@ -61,6 +61,7 @@ from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple
 from urllib import request as urllib_request
 
 from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.campaign import store as result_store
 from repro.campaign.executor import RetryPolicy, make_backend
 from repro.campaign.results import (
     CORRUPT_CHECKPOINT_ERRORS,
@@ -130,13 +131,23 @@ class Coordinator:
     lease_timeout_s:
         Seconds a lease survives without a heartbeat.
     journal_path:
-        When given, every state transition atomically rewrites this JSON
-        file (write-temp + ``os.replace``); an existing journal is
-        resumed from on construction — ``done``/``failed`` outcomes carry
-        over (failed ones with deliveries left are re-queued, mirroring
-        the executor's resume semantics), so the coordinator survives its
-        own crash or restart.  A corrupt journal is quarantined with a
-        warning and the campaign restarts from scratch.
+        When given, every state transition persists the service state; an
+        existing journal is resumed from on construction —
+        ``done``/``failed`` outcomes carry over (failed ones with
+        deliveries left are re-queued, mirroring the executor's resume
+        semantics), so the coordinator survives its own crash or restart.
+        A corrupt journal is quarantined with a warning and the campaign
+        restarts from scratch.  The on-disk shape follows
+        ``journal_store``: the legacy ``json`` mode atomically rewrites
+        one JSON blob per transition (O(campaign) each time), while the
+        columnar mode keeps outcomes in an append-only
+        ``<journal_path>.outcomes`` store (O(1) per completion) next to a
+        small atomically rewritten meta file at ``journal_path`` itself.
+    journal_store:
+        Requested journal format, resolved through
+        :func:`repro.campaign.store.negotiate_store` (default ``auto``:
+        columnar when pyarrow is available, the legacy JSON blob
+        otherwise).
     resume:
         Optional result store whose outcomes seed the coordinator (e.g. a
         previous run's ``--output``); applied before the journal.
@@ -152,6 +163,7 @@ class Coordinator:
         journal_path: Optional[str] = None,
         resume: Optional[CampaignResult] = None,
         clock: Callable[[], float] = time.monotonic,
+        journal_store: str = result_store.STORE_AUTO,
     ) -> None:
         if lease_timeout_s <= 0:
             raise ConfigurationError(
@@ -161,6 +173,9 @@ class Coordinator:
         self.retry = retry or DEFAULT_DELIVERY_RETRY
         self.lease_timeout_s = lease_timeout_s
         self.journal_path = journal_path
+        self._journal_encoding = result_store.negotiate_store(journal_store)
+        self._journal_writer: Optional[result_store.StoreWriter] = None
+        self._journal_pending: List[ScenarioOutcome] = []
         self._clock = clock
         self._lock = threading.RLock()
         self._scenarios: Dict[str, ScenarioSpec] = {
@@ -208,14 +223,40 @@ class Coordinator:
             for scenario in campaign.scenarios
             if scenario.scenario_id not in self.store.outcomes
         )
+        if (
+            journal_path is not None
+            and self._journal_encoding != result_store.STORE_JSON
+        ):
+            # Seed the append-only outcomes store once (atomic rewrite of
+            # whatever survived resume + requeue pruning), then every
+            # completed scenario is a single O(1) append.
+            outcomes_path = self._outcomes_path()
+            result_store.save_store(
+                self.store, outcomes_path, self._journal_encoding
+            )
+            self._journal_writer = result_store.StoreWriter.open_append(
+                outcomes_path
+            )
+            self._write_journal_meta()
 
     # -- persistence --------------------------------------------------------------
+    def _outcomes_path(self) -> str:
+        """The append-only outcomes store living next to the meta journal."""
+        return f"{self.journal_path}.outcomes"
+
     def _load_journal(self, path: str) -> Optional[CampaignResult]:
         """Restore results + delivery-attempt counts from a journal file."""
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.loads(handle.read())
-            store = CampaignResult.from_dict(data["results"])
+            if data.get("outcomes") == "store":
+                # Columnar journal: outcomes live in the sidecar store
+                # (a torn tail there is salvaged + quarantined).
+                store = result_store.load_store_checkpoint(self._outcomes_path())
+                if store is None:
+                    store = CampaignResult(campaign_name=str(data["campaign_name"]))
+            else:
+                store = CampaignResult.from_dict(data["results"])
             attempts = {str(k): int(v) for k, v in data.get("attempts", {}).items()}
         except FileNotFoundError:
             return None
@@ -225,9 +266,41 @@ class Coordinator:
         self._attempts.update(attempts)
         return store
 
+    def _record_outcome(self, outcome: ScenarioOutcome) -> None:
+        """Store an outcome and stage it for the append-only journal."""
+        self.store.add(outcome)
+        if self._journal_writer is not None:
+            self._journal_pending.append(outcome)
+
+    def _write_journal_meta(self) -> None:
+        """Atomically rewrite the small meta file of a columnar journal."""
+        data = {
+            "campaign_name": self.campaign.name,
+            "attempts": self._attempts,
+            "outcomes": "store",
+        }
+        temp_path = f"{self.journal_path}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(data))
+        os.replace(temp_path, self.journal_path)
+
     def _journal(self) -> None:
-        """Atomically persist the service state (write-temp + ``os.replace``)."""
+        """Persist the service state.
+
+        Legacy mode atomically rewrites the whole JSON blob.  Columnar
+        mode appends the outcomes staged since the last transition to the
+        sidecar store (O(1) per completed scenario) and atomically
+        rewrites only the small meta file (campaign name + delivery
+        attempts).
+        """
         if self.journal_path is None:
+            return
+        if self._journal_writer is not None:
+            for outcome in self._journal_pending:
+                self._journal_writer.append(outcome)
+            self._journal_pending.clear()
+            self._journal_writer.flush()
+            self._write_journal_meta()
             return
         data = {
             "campaign_name": self.campaign.name,
@@ -238,6 +311,21 @@ class Coordinator:
         with open(temp_path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(data))
         os.replace(temp_path, self.journal_path)
+
+    def close_journal(self) -> None:
+        """Flush staged outcomes and close the append-only writer (idempotent).
+
+        Only meaningful for columnar journals; the legacy JSON journal
+        has no long-lived handle.
+        """
+        with self._lock:
+            if self._journal_writer is None:
+                return
+            for outcome in self._journal_pending:
+                self._journal_writer.append(outcome)
+            self._journal_pending.clear()
+            self._journal_writer.close()
+            self._journal_writer = None
 
     # -- bookkeeping --------------------------------------------------------------
     @property
@@ -277,7 +365,7 @@ class Coordinator:
                 continue  # a (late) result already landed
             used = self._attempts.get(sid, 0)
             if used >= self.retry.max_attempts:
-                self.store.add(
+                self._record_outcome(
                     ScenarioOutcome.failure(
                         self._scenarios[sid],
                         error=(
@@ -434,7 +522,7 @@ class Coordinator:
                 stale_lease = self._lease_by_scenario.pop(sid, None)
                 if stale_lease is not None:
                     self._leases.pop(stale_lease, None)
-                self.store.add(parsed)
+                self._record_outcome(parsed)
                 self._journal()
                 self._emit("done" if parsed.ok else "failed", sid, worker)
             self._reap(now)

@@ -86,17 +86,6 @@ class SimulationResult:
             records if records is not None else (None if columns is not None else [])
         )
 
-    # -- deprecated engine-selection aliases -------------------------------------
-    @property
-    def last_used_table_path(self) -> bool:
-        """Deprecated alias: True when :attr:`engine_used` is ``"tablepath"``."""
-        return self.engine_used == "tablepath"
-
-    @property
-    def last_used_fast_path(self) -> bool:
-        """Deprecated alias: True when :attr:`engine_used` is ``"fastpath"``."""
-        return self.engine_used == "fastpath"
-
     # -- backing stores ---------------------------------------------------------
     @property
     def records(self) -> List[FrameRecord]:

@@ -309,12 +309,14 @@ class TestEngineUsedReporting:
         assert result.engine_used == engine_name
         assert engine.engine_used == engine_name
 
-    def test_deprecated_result_aliases(self):
+    def test_result_aliases_removed(self):
+        # The deprecated last_used_* aliases moved off SimulationResult
+        # (the engine keeps its own); engine_used is the one source of truth.
         engine = SimulationEngine(build_a15_cluster())
         result = engine.run(mpeg4_application(num_frames=10, seed=1), OndemandGovernor())
         assert result.engine_used == "tablepath"
-        assert result.last_used_table_path
-        assert not result.last_used_fast_path
+        assert not hasattr(result, "last_used_table_path")
+        assert not hasattr(result, "last_used_fast_path")
 
     def test_engine_used_round_trips_through_json(self):
         engine = SimulationEngine(build_a15_cluster())
